@@ -1,0 +1,157 @@
+//! Barrett reduction — the other classical division-free modular
+//! multiplication, and the approach Montgomery's method displaced in
+//! hardware.
+//!
+//! Barrett precomputes `µ = ⌊4^l / N⌋` and estimates the quotient of
+//! every reduction with two multiplications by µ. Functionally it needs
+//! no operand transform (unlike Montgomery's domain), but in hardware
+//! both estimate multiplications are *full-width* and sit on the
+//! critical path of every iteration, so it shares the naive design's
+//! width-dependent clock — the architectural reason the paper (and the
+//! industry) went with Montgomery for systolic implementations.
+
+use mmm_bigint::Ubig;
+
+/// A Barrett reduction context for a fixed modulus.
+#[derive(Debug, Clone)]
+pub struct Barrett {
+    n: Ubig,
+    /// `µ = ⌊2^{2k} / N⌋` with `k = bitlen(N)`.
+    mu: Ubig,
+    /// `k = bitlen(N)`.
+    k: usize,
+}
+
+impl Barrett {
+    /// Creates a context for modulus `n ≥ 3`.
+    pub fn new(n: &Ubig) -> Self {
+        assert!(*n >= Ubig::from(3u64), "modulus must be at least 3");
+        let k = n.bit_len();
+        let (mu, _) = Ubig::pow2(2 * k).divrem(n);
+        Barrett {
+            n: n.clone(),
+            mu,
+            k,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// Reduces `x < N²` to `x mod N` with two µ-multiplications and at
+    /// most two conditional subtractions (the textbook bound).
+    pub fn reduce(&self, x: &Ubig) -> Ubig {
+        debug_assert!(*x < self.n.square(), "Barrett requires x < N²");
+        // q = ((x >> (k-1)) * µ) >> (k+1)
+        let q = (&x.shr_bits(self.k - 1) * &self.mu).shr_bits(self.k + 1);
+        let mut r = x
+            .checked_sub(&(&q * &self.n))
+            .expect("Barrett estimate never exceeds the true quotient");
+        let mut subs = 0;
+        while r >= self.n {
+            r = r - &self.n;
+            subs += 1;
+            debug_assert!(subs <= 2, "textbook bound: at most 2 corrections");
+        }
+        r
+    }
+
+    /// `x·y mod N` (operands `< N`).
+    pub fn modmul(&self, x: &Ubig, y: &Ubig) -> Ubig {
+        assert!(x < &self.n && y < &self.n, "operands must be < N");
+        self.reduce(&(x * y))
+    }
+
+    /// `base^e mod N` by square-and-multiply over Barrett reductions.
+    pub fn modpow(&self, base: &Ubig, e: &Ubig) -> Ubig {
+        if e.is_zero() {
+            return if self.n.is_one() {
+                Ubig::zero()
+            } else {
+                Ubig::one()
+            };
+        }
+        let b = base.rem(&self.n);
+        let mut a = b.clone();
+        for i in (0..e.bit_len() - 1).rev() {
+            a = self.modmul(&a, &a);
+            if e.bit(i) {
+                a = self.modmul(&a, &b);
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduce_exhaustive_small() {
+        let n = Ubig::from(97u64);
+        let b = Barrett::new(&n);
+        for x in 0u64..(97 * 97) {
+            assert_eq!(b.reduce(&Ubig::from(x)), Ubig::from(x % 97), "x={x}");
+        }
+    }
+
+    #[test]
+    fn modmul_matches_reference_random() {
+        let mut rng = StdRng::seed_from_u64(88);
+        for bits in [16usize, 64, 256, 1000] {
+            let mut n = Ubig::random_exact_bits(&mut rng, bits);
+            if n < Ubig::from(3u64) {
+                n = Ubig::from(5u64);
+            }
+            let b = Barrett::new(&n);
+            for _ in 0..5 {
+                let x = Ubig::random_below(&mut rng, &n);
+                let y = Ubig::random_below(&mut rng, &n);
+                assert_eq!(b.modmul(&x, &y), x.modmul(&y, &n), "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let n = Ubig::random_exact_bits(&mut rng, 128);
+        let b = Barrett::new(&n);
+        for _ in 0..3 {
+            let base = Ubig::random_below(&mut rng, &n);
+            let e = Ubig::random_exact_bits(&mut rng, 64);
+            assert_eq!(b.modpow(&base, &e), base.modpow(&e, &n));
+        }
+    }
+
+    #[test]
+    fn works_for_even_moduli_unlike_montgomery() {
+        // Montgomery requires odd N; Barrett does not — a genuine
+        // functional difference worth recording.
+        let n = Ubig::from(100u64);
+        let b = Barrett::new(&n);
+        assert_eq!(
+            b.modmul(&Ubig::from(77u64), &Ubig::from(88u64)),
+            Ubig::from(77 * 88 % 100u64)
+        );
+    }
+
+    #[test]
+    fn correction_count_stays_within_textbook_bound() {
+        // The debug_assert inside reduce() enforces ≤ 2 corrections;
+        // drive it over a stress sample near the N² ceiling.
+        let mut rng = StdRng::seed_from_u64(90);
+        let n = Ubig::random_exact_bits(&mut rng, 200);
+        let b = Barrett::new(&n);
+        let n2 = n.square();
+        for _ in 0..50 {
+            let x = Ubig::random_below(&mut rng, &n2);
+            let _ = b.reduce(&x);
+        }
+    }
+}

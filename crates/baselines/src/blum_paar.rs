@@ -1,0 +1,214 @@
+//! A Blum–Paar-style radix-2 systolic Montgomery multiplier
+//! (T. Blum, C. Paar, "Montgomery modular exponentiation on
+//! reconfigurable hardware", ARITH-14, 1999 — reference \[3\]).
+//!
+//! The two differences from the paper's design, both of which the paper
+//! claims as its improvements:
+//!
+//! 1. **Montgomery parameter.** Blum–Paar use `R = 2^{l+3}`, one radix
+//!    digit above Walter's optimal bound, so every multiplication runs
+//!    `l+3` iterations instead of `l+2`. Functionally the result is
+//!    `x·y·2^{-(l+3)} mod N` — a different domain constant, handled in
+//!    the exponentiation wrappers; the bound analysis still gives
+//!    outputs `< 2N` for inputs `< 2N` (it is *looser*, not broken).
+//! 2. **Processing-element latency.** Their PEs carry 3-bit control
+//!    registers and "four complex multiplexors" (§4.4 quote) in the
+//!    data path, which lengthens the register-to-register path. We
+//!    model this as `BP_EXTRA_LUT_LEVELS` additional LUT levels on top
+//!    of the array's own depth; the comparison benchmark turns that
+//!    into the clock-period gap the paper talks about.
+
+use mmm_bigint::Ubig;
+use mmm_core::montgomery::MontgomeryParams;
+use mmm_core::traits::MontMul;
+
+/// Extra LUT levels a Blum–Paar PE carries on its critical path
+/// relative to the pure-combinational cell of Örs et al. (control
+/// register fan-in plus output multiplexers).
+pub const BP_EXTRA_LUT_LEVELS: usize = 2;
+
+/// Iterations per multiplication: `l + 3` (one more than the
+/// Walter-optimal design).
+pub fn bp_iterations(l: usize) -> usize {
+    l + 3
+}
+
+/// Cycle count of one Blum–Paar multiplication in a schedule analogous
+/// to the paper's (`2` cycles per injected wave plus an `l`-cycle
+/// drain and a load cycle): `2(l+3) + l + 1 = 3l + 7`.
+pub fn bp_mmm_cycles(l: usize) -> u64 {
+    (3 * l + 7) as u64
+}
+
+/// Software model of the Blum–Paar multiplication:
+/// `x·y·2^{-(l+3)} mod N`, computed with `l+3` radix-2 Montgomery
+/// iterations, output `< 2N`.
+pub fn bp_mont_mul(params: &MontgomeryParams, x: &Ubig, y: &Ubig) -> Ubig {
+    let n = params.n();
+    let l = params.l();
+    assert!(
+        params.check_operand(x) && params.check_operand(y),
+        "operands must be < 2N"
+    );
+    let mut t = Ubig::zero();
+    for i in 0..=(l + 2) {
+        let xi = x.bit(i);
+        let m = t.bit(0) ^ (xi & y.bit(0));
+        if xi {
+            t = &t + y;
+        }
+        if m {
+            t = &t + n;
+        }
+        t = t.shr_bits(1);
+    }
+    debug_assert!(params.check_operand(&t));
+    t
+}
+
+/// A [`MontMul`]-compatible engine for the Blum–Paar design with
+/// cycle accounting, so the same exponentiator can run on both designs
+/// and the comparison benchmark can report end-to-end times.
+///
+/// Note the engine's Montgomery constant is `R' = 2^{l+3}`; its
+/// `r2`-style pre-computation constant differs accordingly and is
+/// exposed via [`BlumPaarEngine::r2_mod_n`].
+#[derive(Debug, Clone)]
+pub struct BlumPaarEngine {
+    params: MontgomeryParams,
+    total_cycles: u64,
+}
+
+impl BlumPaarEngine {
+    /// Creates the engine.
+    pub fn new(params: MontgomeryParams) -> Self {
+        BlumPaarEngine {
+            params,
+            total_cycles: 0,
+        }
+    }
+
+    /// `R'² mod N` with `R' = 2^{l+3}` — the domain-entry constant for
+    /// this design.
+    pub fn r2_mod_n(&self) -> Ubig {
+        let r = Ubig::pow2(self.params.l() + 3);
+        (&r * &r).rem(self.params.n())
+    }
+}
+
+impl MontMul for BlumPaarEngine {
+    fn params(&self) -> &MontgomeryParams {
+        &self.params
+    }
+
+    fn mont_mul(&mut self, x: &Ubig, y: &Ubig) -> Ubig {
+        self.total_cycles += bp_mmm_cycles(self.params.l());
+        bp_mont_mul(&self.params, x, y)
+    }
+
+    fn consumed_cycles(&self) -> Option<u64> {
+        Some(self.total_cycles)
+    }
+
+    fn name(&self) -> &'static str {
+        "Blum-Paar R=2^(l+3)"
+    }
+}
+
+/// Exponentiation with the Blum–Paar engine (the pre/post transforms
+/// must use `R' = 2^{l+3}`, so `mmm_core::expo::ModExp` — which bakes
+/// in `R = 2^{l+2}` — cannot be reused directly).
+pub fn bp_modexp(engine: &mut BlumPaarEngine, m: &Ubig, e: &Ubig) -> Ubig {
+    let n = engine.params.n().clone();
+    assert!(m < &n, "message must be < N");
+    if e.is_zero() {
+        return if n.is_one() { Ubig::zero() } else { Ubig::one() };
+    }
+    let r2 = engine.r2_mod_n();
+    let mbar = engine.mont_mul(m, &r2);
+    let t = e.bit_len();
+    let mut a = mbar.clone();
+    for i in (0..t - 1).rev() {
+        a = engine.mont_mul(&a, &a);
+        if e.bit(i) {
+            a = engine.mont_mul(&a, &mbar);
+        }
+    }
+    let result = engine.mont_mul(&a, &Ubig::one());
+    if result >= n {
+        result - &n
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_core::modgen::random_safe_params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bp_mont_mul_is_xy_rinv_mod_n() {
+        let p = MontgomeryParams::new(&Ubig::from(101u64), 7);
+        let n = p.n().clone();
+        let r = Ubig::pow2(7 + 3);
+        let rinv = r.rem(&n).modinv(&n).unwrap();
+        for (x, y) in [(5u64, 7u64), (100, 100), (0, 55), (201, 1)] {
+            let got = bp_mont_mul(&p, &Ubig::from(x), &Ubig::from(y));
+            let want = (&Ubig::from(x) * &Ubig::from(y)).modmul(&rinv, &n);
+            assert_eq!(got.rem(&n), want, "x={x} y={y}");
+            assert!(p.check_operand(&got));
+        }
+    }
+
+    #[test]
+    fn bp_takes_one_more_iteration_and_three_more_cycles() {
+        for l in [32usize, 128, 1024] {
+            assert_eq!(bp_iterations(l), l + 3);
+            assert_eq!(
+                bp_mmm_cycles(l),
+                mmm_core::cost::mmm_cycles(l) + 3,
+                "BP pays 3 extra cycles at l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn bp_modexp_matches_modpow() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for l in [8usize, 16, 32] {
+            let p = random_safe_params(&mut rng, l);
+            let n = p.n().clone();
+            let mut engine = BlumPaarEngine::new(p);
+            for _ in 0..5 {
+                let m = Ubig::random_below(&mut rng, &n);
+                let e = Ubig::random_bits(&mut rng, l);
+                let e = if e.is_zero() { Ubig::one() } else { e };
+                assert_eq!(bp_modexp(&mut engine, &m, &e), m.modpow(&e, &n), "l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn bp_cycle_accounting_accumulates() {
+        let p = MontgomeryParams::new(&Ubig::from(101u64), 7);
+        let mut engine = BlumPaarEngine::new(p);
+        let _ = engine.mont_mul(&Ubig::from(5u64), &Ubig::from(7u64));
+        let _ = engine.mont_mul(&Ubig::from(5u64), &Ubig::from(7u64));
+        assert_eq!(engine.consumed_cycles(), Some(2 * (3 * 7 + 7)));
+    }
+
+    #[test]
+    fn bp_output_feeds_back() {
+        // The looser bound still permits reduction-free chaining.
+        let p = MontgomeryParams::new(&Ubig::from(251u64), 8);
+        let mut engine = BlumPaarEngine::new(p.clone());
+        let mut t = Ubig::from(300u64);
+        for _ in 0..30 {
+            t = engine.mont_mul(&t, &t);
+            assert!(p.check_operand(&t));
+        }
+    }
+}

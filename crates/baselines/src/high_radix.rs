@@ -1,0 +1,170 @@
+//! High-radix Montgomery iteration model (§2 of the paper, citing
+//! Batina–Muurling \[1\] and Blum–Paar's own high-radix design \[4\]).
+//!
+//! In radix `2^α` the multiplier performs `⌈(l+2)/α⌉` iterations, each
+//! consuming `α` bits of `x` and requiring the quotient digit
+//! `m_i = (t + x_i·y)·N' mod 2^α` — for `α > 1` the full `N' = −N⁻¹ mod
+//! 2^α` multiply, not the radix-2 shortcut `N' = 1`. Each cell becomes
+//! an `α × α`-bit multiplier-accumulator whose depth grows roughly
+//! logarithmically in `α`, so the clock period rises while the cycle
+//! count falls: the sweep shows the classic latency "bathtub".
+
+use mmm_bigint::Ubig;
+use mmm_core::montgomery::MontgomeryParams;
+use mmm_fpga::VirtexETiming;
+
+/// Number of iterations for radix `2^α`: `⌈(l+2)/α⌉` (the paper's
+/// formula, with its `n` being our `l`).
+pub fn iterations(l: usize, alpha: usize) -> usize {
+    assert!(alpha >= 1);
+    (l + 2).div_ceil(alpha)
+}
+
+/// Cycles for one multiplication with the same 2-cycles-per-wave,
+/// `l/α`-cell drain schedule as the radix-2 array.
+pub fn mmm_cycles(l: usize, alpha: usize) -> u64 {
+    let cells = l.div_ceil(alpha);
+    (2 * iterations(l, alpha) + cells + 1) as u64
+}
+
+/// Cell LUT depth model for radix `2^α`: the radix-2 cell is 4 levels;
+/// an `α`-bit digit cell must determine the quotient digit
+/// `m_i = (t₀ + x_i·y₀)·N' mod 2^α` — an `α×α` multiply whose low-digit
+/// dependency chain is inherently serial — before the row update can
+/// complete, adding ≈ `α` levels.
+pub fn cell_depth(alpha: usize) -> usize {
+    assert!(alpha >= 1);
+    if alpha == 1 {
+        4
+    } else {
+        4 + alpha
+    }
+}
+
+/// Intra-cell routing penalty: an `α`-bit cell broadcasts `x_i`/`m_i`
+/// digits across an `α`-wide multiplier array, lengthening average
+/// routes by ≈ 8% per extra bit of digit width.
+pub fn routing_factor(alpha: usize) -> f64 {
+    1.0 + 0.08 * (alpha as f64 - 1.0)
+}
+
+/// Clock period at radix `2^α`, ns.
+pub fn clock_period_ns(l: usize, alpha: usize, timing: &VirtexETiming) -> f64 {
+    let per_level = timing.t_lut + timing.net_delay(l) * routing_factor(alpha);
+    timing.t_clk2q + cell_depth(alpha) as f64 * per_level + timing.t_setup
+}
+
+/// End-to-end time for one multiplication at radix `2^α`, ns.
+pub fn mmm_time_ns(l: usize, alpha: usize, timing: &VirtexETiming) -> f64 {
+    mmm_cycles(l, alpha) as f64 * clock_period_ns(l, alpha, timing)
+}
+
+/// Software high-radix Montgomery multiplication (word base `2^α`),
+/// used to validate that the iteration-count formula corresponds to a
+/// real algorithm: returns `x·y·2^{−α·iterations} mod N`, `< 2N`.
+pub fn mont_mul_radix(params: &MontgomeryParams, x: &Ubig, y: &Ubig, alpha: usize) -> Ubig {
+    assert!(alpha >= 1);
+    let n = params.n();
+    let l = params.l();
+    assert!(params.check_operand(x) && params.check_operand(y));
+    let iters = iterations(l, alpha);
+    let nprime = n.neg_inv_pow2(alpha);
+    let base_mask = alpha;
+    let mut t = Ubig::zero();
+    for i in 0..iters {
+        // x digit i (α bits).
+        let xi = x.shr_bits(i * alpha).low_bits(alpha);
+        // m = (t0 + xi*y0) * N' mod 2^α, where t0/y0 are the low digits.
+        let t_plus = &t + &(&xi * y);
+        let m = (&t_plus.low_bits(base_mask) * &nprime).low_bits(base_mask);
+        t = (&t_plus + &(&m * n)).shr_bits(alpha);
+    }
+    debug_assert!(
+        t < (n * &Ubig::from(2u64)) + Ubig::one(),
+        "high-radix bound"
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iteration_formula_matches_paper() {
+        // §2: "in the case of higher radix it can perform
+        // multiplication in ⌈(n+2)/α⌉".
+        assert_eq!(iterations(1024, 1), 1026);
+        assert_eq!(iterations(1024, 2), 513);
+        assert_eq!(iterations(1024, 4), 257);
+        assert_eq!(iterations(1024, 16), 65);
+        assert_eq!(iterations(3, 2), 3); // ceil(5/2)
+    }
+
+    #[test]
+    fn radix1_reduces_to_alg2() {
+        let p = MontgomeryParams::new(&Ubig::from(101u64), 7);
+        for (x, y) in [(5u64, 7u64), (100, 201), (0, 9)] {
+            let got = mont_mul_radix(&p, &Ubig::from(x), &Ubig::from(y), 1);
+            let want = mmm_core::montgomery::mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y));
+            assert_eq!(got, want, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn all_radices_agree_modulo_n() {
+        // Different radices multiply by different powers of 2⁻¹; after
+        // compensating, all agree with the plain product mod N.
+        let mut rng = StdRng::seed_from_u64(66);
+        let p = mmm_core::modgen::random_safe_params(&mut rng, 16);
+        let n = p.n().clone();
+        let x = Ubig::random_below(&mut rng, &p.two_n());
+        let y = Ubig::random_below(&mut rng, &p.two_n());
+        let want = x.modmul(&y, &n);
+        for alpha in [1usize, 2, 4, 8] {
+            let iters = iterations(16, alpha);
+            let got = mont_mul_radix(&p, &x, &y, alpha);
+            let r = Ubig::pow2(alpha * iters).rem(&n);
+            let recovered = got.modmul(&r, &n);
+            assert_eq!(recovered, want, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn cycles_fall_depth_rises() {
+        let mut prev_cycles = u64::MAX;
+        let mut prev_depth = 0;
+        for alpha in [1usize, 2, 4, 8, 16] {
+            let c = mmm_cycles(1024, alpha);
+            let d = cell_depth(alpha);
+            assert!(c < prev_cycles, "alpha={alpha}");
+            assert!(d >= prev_depth, "alpha={alpha}");
+            prev_cycles = c;
+            prev_depth = d;
+        }
+    }
+
+    #[test]
+    fn sweet_spot_exists() {
+        // Time falls then rises (or at least stops falling) across the
+        // radix sweep — the classic trade-off bathtub.
+        let timing = VirtexETiming::default();
+        let times: Vec<f64> = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&a| mmm_time_ns(1024, a, &timing))
+            .collect();
+        let best = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(best > 0, "some radix above 2 must beat radix 2: {times:?}");
+        assert!(
+            times[times.len() - 1] > times[best],
+            "very high radix must be worse than the optimum: {times:?}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # mmm-baselines — the designs the paper compares against
+//!
+//! Three comparison points, each with a functional implementation and
+//! an honest hardware cost model:
+//!
+//! * [`blum_paar`] — the Blum–Paar radix-2 systolic multiplier
+//!   (reference \[3\] in the paper): Montgomery parameter `R = 2^{l+3}` (one more
+//!   iteration than the Walter-optimal `2^{l+2}`) and processing
+//!   elements with control registers and output multiplexers on the
+//!   critical path (the paper's §2/§4.4 argument for why its own cells
+//!   clock faster).
+//! * [`naive`] — pre-Montgomery modular multiplication: interleaved
+//!   shift-add with conditional subtraction, and schoolbook
+//!   multiply-then-divide. The compare/subtract step needs full-width
+//!   carry propagation every cycle, so the achievable clock period
+//!   *grows* with `l` — the flat-frequency property of the systolic
+//!   design is exactly what they lack.
+//! * [`high_radix`] — the radix-`2^α` iteration model of §2 (citing
+//!   Batina–Muurling): `⌈(l+2)/α⌉` iterations of wider cells, trading
+//!   cycle count against cell latency.
+//! * [`barrett`] — Barrett reduction, the other classical
+//!   division-free method (no operand domain, works for even moduli,
+//!   but both quotient-estimate multiplications are full-width and on
+//!   the per-iteration critical path).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrett;
+pub mod blum_paar;
+pub mod high_radix;
+pub mod naive;
+
+pub use barrett::Barrett;
+pub use blum_paar::BlumPaarEngine;
+pub use naive::{interleaved_modmul, schoolbook_modmul};

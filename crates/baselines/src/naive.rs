@@ -1,0 +1,173 @@
+//! Pre-Montgomery baselines: what the introduction of the paper calls
+//! "the time consuming trial division that is a common bottleneck of
+//! other algorithms".
+//!
+//! * [`interleaved_modmul`] — classical MSB-first interleaved modular
+//!   multiplication: `T ← 2T + x_i·Y`, then subtract `N` up to twice.
+//!   In hardware every iteration needs a full-width magnitude compare
+//!   and subtract, i.e. an `l`-bit carry propagation inside one clock
+//!   cycle: [`naive_clock_period_ns`] models how that kills the clock
+//!   frequency as `l` grows.
+//! * [`schoolbook_modmul`] — multiply then divide (the literal
+//!   "trial division" route), with a cycle model for a word-serial
+//!   divider.
+
+use mmm_bigint::Ubig;
+use mmm_fpga::VirtexETiming;
+
+/// MSB-first interleaved modular multiplication.
+///
+/// Requires `x, y < N`; returns `x·y mod N` — no Montgomery domain, no
+/// `R` factors, fully reduced.
+pub fn interleaved_modmul(x: &Ubig, y: &Ubig, n: &Ubig) -> Ubig {
+    assert!(!n.is_zero(), "modulus must be nonzero");
+    assert!(x < n && y < n, "operands must be < N");
+    let mut t = Ubig::zero();
+    for i in (0..x.bit_len()).rev() {
+        t = t.shl_bits(1);
+        if x.bit(i) {
+            t = &t + y;
+        }
+        // After the shift-add, T < 2N + N = 3N: at most two subtractions.
+        if &t >= n {
+            t = t - n;
+        }
+        if &t >= n {
+            t = t - n;
+        }
+        debug_assert!(&t < n);
+    }
+    t
+}
+
+/// Schoolbook multiply followed by a full division — the baseline
+/// Montgomery's method replaces.
+pub fn schoolbook_modmul(x: &Ubig, y: &Ubig, n: &Ubig) -> Ubig {
+    (x * y).rem(n)
+}
+
+/// Cycle count of an `l`-bit interleaved multiplier: one iteration per
+/// bit plus a load and an output cycle.
+pub fn interleaved_cycles(l: usize) -> u64 {
+    (l + 2) as u64
+}
+
+/// Clock-period model for the interleaved design: each cycle chains
+/// **three dependent full-width operations** — the shift-add
+/// `T ← 2T + x_i·Y` and up to two conditional subtractions of `N`
+/// (the comparison *is* the subtraction's borrow-out, so it cannot be
+/// overlapped). Each is a carry-lookahead of ~`⌈log₄ l⌉ + 1` LUT
+/// levels, so the cycle depth grows with `l` — in contrast to the
+/// systolic array's constant 4 levels.
+pub fn naive_clock_period_ns(l: usize, timing: &VirtexETiming) -> f64 {
+    let carry_levels = (l as f64).log(4.0).ceil() as usize + 1;
+    let depth = 3 * carry_levels;
+    timing.clock_period(depth, l)
+}
+
+/// Total time for one modular multiplication on the naive design, ns.
+pub fn naive_mmm_time_ns(l: usize, timing: &VirtexETiming) -> f64 {
+    interleaved_cycles(l) as f64 * naive_clock_period_ns(l, timing)
+}
+
+/// Cycle count for schoolbook multiply-then-divide with a word-serial
+/// datapath: `l` cycles of multiply accumulation plus `l+1` divider
+/// iterations, each of which also needs the full-width subtract.
+pub fn schoolbook_cycles(l: usize) -> u64 {
+    (2 * l + 1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interleaved_matches_reference_exhaustive() {
+        let n = Ubig::from(23u64);
+        for x in 0u64..23 {
+            for y in 0u64..23 {
+                let got = interleaved_modmul(&Ubig::from(x), &Ubig::from(y), &n);
+                assert_eq!(got, Ubig::from(x * y % 23), "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_matches_reference_random() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for bits in [16usize, 64, 200] {
+            let n = Ubig::random_exact_bits(&mut rng, bits);
+            let n = if n.is_zero() { Ubig::one() } else { n };
+            for _ in 0..5 {
+                let x = Ubig::random_below(&mut rng, &n);
+                let y = Ubig::random_below(&mut rng, &n);
+                assert_eq!(
+                    interleaved_modmul(&x, &y, &n),
+                    x.modmul(&y, &n),
+                    "bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schoolbook_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let n = Ubig::random_exact_bits(&mut rng, 100);
+        let x = Ubig::random_below(&mut rng, &n);
+        let y = Ubig::random_below(&mut rng, &n);
+        assert_eq!(schoolbook_modmul(&x, &y, &n), x.modmul(&y, &n));
+    }
+
+    #[test]
+    fn naive_period_grows_with_l_systolic_stays_flat() {
+        // The crossover argument of the paper's introduction in one
+        // test: naive clock period grows ~log l; systolic is flat.
+        let timing = VirtexETiming::default();
+        let naive32 = naive_clock_period_ns(32, &timing);
+        let naive1024 = naive_clock_period_ns(1024, &timing);
+        assert!(
+            naive1024 > naive32 * 1.3,
+            "naive period must degrade: {naive32:.2} -> {naive1024:.2}"
+        );
+        let sys32 = timing.clock_period(4, 32);
+        let sys1024 = timing.clock_period(4, 1024);
+        assert!(sys1024 < sys32 * 1.15, "systolic stays flat");
+    }
+
+    #[test]
+    fn crossover_naive_wins_small_systolic_wins_big() {
+        // The classic architectural crossover: at small widths the
+        // interleaved design's 3x-fewer cycles beat its slower clock;
+        // as l grows its chained carry trees lose to the systolic
+        // array's flat 4-level cycle.
+        let timing = VirtexETiming::default();
+        let systolic =
+            |l: usize| mmm_core::cost::mmm_cycles(l) as f64 * timing.clock_period(4, l);
+        assert!(
+            naive_mmm_time_ns(32, &timing) < systolic(32),
+            "naive should win at l=32"
+        );
+        for l in [512usize, 1024] {
+            assert!(
+                naive_mmm_time_ns(l, &timing) > systolic(l),
+                "systolic should win at l={l}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must be < N")]
+    fn interleaved_rejects_unreduced() {
+        let n = Ubig::from(23u64);
+        let _ = interleaved_modmul(&Ubig::from(23u64), &Ubig::one(), &n);
+    }
+
+    #[test]
+    fn cycle_models() {
+        assert_eq!(interleaved_cycles(1024), 1026);
+        assert_eq!(schoolbook_cycles(1024), 2049);
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench: the big-integer substrate (multiplication with the
+//! Karatsuba crossover, division, modular exponentiation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmm_bigint::Ubig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("bigint");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for bits in [256usize, 1024, 4096] {
+        let a = Ubig::random_exact_bits(&mut rng, bits);
+        let b = Ubig::random_exact_bits(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a) * black_box(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("square", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a).square())
+        });
+        let wide = &a * &b;
+        group.bench_with_input(BenchmarkId::new("divrem", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&wide).divrem(black_box(&b)))
+        });
+    }
+
+    // Modular exponentiation via plain divrem reduction vs word-level
+    // Montgomery — the software-level justification for Montgomery's
+    // method, independent of any hardware.
+    for bits in [256usize, 512] {
+        let mut n = Ubig::random_exact_bits(&mut rng, bits);
+        n.set_bit(0, true);
+        let base = Ubig::random_below(&mut rng, &n);
+        let e = Ubig::random_exact_bits(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::new("modpow_divrem", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&base).modpow(black_box(&e), &n))
+        });
+        let ctx = mmm_bigint::WordMontgomery::new(&n);
+        group.bench_with_input(BenchmarkId::new("modpow_montgomery", bits), &bits, |bch, _| {
+            bch.iter(|| ctx.modpow(black_box(&base), black_box(&e)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Verifies the section 4.3 area formula and critical-path claim from
+//! the generated netlists, under both full-adder decompositions.
+
+use mmm_bench::{area, cells, textable::TexTable};
+
+fn main() {
+    let rows = area::compute(&[8, 16, 32, 64, 128, 256, 512, 1024]);
+    let mut t = TexTable::new(&[
+        "l", "FA style", "XOR", "AND", "OR", "paper XOR", "paper AND", "paper OR", "FF", "crit.levels",
+    ]);
+    for r in &rows {
+        t.row(cells![
+            r.l,
+            format!("{:?}", r.style),
+            r.xor,
+            r.and,
+            r.or,
+            r.paper.xor,
+            r.paper.and,
+            r.paper.or,
+            r.ffs,
+            r.critical_levels,
+        ]);
+    }
+    println!("Section 4.3 — systolic array area census vs paper formula (5l-3)XOR+(7l-7)AND+(4l-5)OR");
+    println!("{}", t.render());
+    println!("Majority FA decomposition reproduces the paper's leading coefficients exactly;");
+    println!("constant offsets (<= 3 gates) come from edge-cell accounting.");
+    println!("Critical path: constant gate levels across two orders of magnitude in l.\n");
+
+    let mut ff = TexTable::new(&["l", "FF per-cell", "FF shared-pair", "paper 4l", "delta"]);
+    for r in area::ff_comparison(&[8, 32, 128, 512, 1024]) {
+        ff.row(cells![
+            r.l,
+            r.per_cell,
+            r.shared_pair,
+            r.paper,
+            format!("+{} (valid pipe)", r.shared_pair - r.paper),
+        ]);
+    }
+    println!("Flip-flop budget: Fig. 2 draws pair-shared x/m registers (x(l-2)/2 labels);");
+    println!("with PipelineStyle::SharedPair the paper's 4l reconciles exactly, plus ceil(l/2)");
+    println!("valid-pipeline bits for the drain-phase resolution (DESIGN.md).");
+    println!("{}", ff.render());
+}

@@ -1,0 +1,30 @@
+//! Verifies Eq. (10): 3l^2+10l+12 <= T_mod-exp <= 6l^2+14l+12, with
+//! cycle counts measured on the cycle-accurate engine for the two
+//! extreme exponents.
+
+use mmm_bench::{cells, eq10, textable::TexTable};
+
+fn main() {
+    let widths: &[usize] = if cfg!(debug_assertions) {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 16, 32, 64, 128, 256, 512, 1024]
+    };
+    let rows = eq10::compute(widths);
+    let mut t = TexTable::new(&["l", "exponent", "lower bound", "measured", "upper bound", "within"]);
+    for r in &rows {
+        let within = r.measured <= r.upper
+            && r.measured + 2 * mmm_core::cost::mmm_cycles(r.l) >= r.lower;
+        t.row(cells![
+            r.l,
+            r.exponent,
+            r.lower,
+            r.measured,
+            r.upper,
+            if within { "yes" } else { "NO" },
+        ]);
+    }
+    println!("Eq. (10) — modular exponentiation cycle bounds");
+    println!("{}", t.render());
+    println!("measured = engine-counted in-loop multiplications x (3l+4) + paper pre/post accounting");
+}

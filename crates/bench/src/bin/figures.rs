@@ -1,0 +1,41 @@
+//! Exports Figs. 1-4 as DOT/text, generated from the real netlists.
+//! Usage: figures [fig1|fig2|fig3|fig4|all] [--out DIR]
+
+use mmm_bench::figures;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"));
+    fs::create_dir_all(&out_dir).expect("create output dir");
+
+    if which == "fig1" || which == "all" {
+        for (name, dot) in figures::fig1() {
+            let path = out_dir.join(format!("{name}.dot"));
+            fs::write(&path, dot).expect("write");
+            println!("wrote {}", path.display());
+        }
+    }
+    if which == "fig2" || which == "all" {
+        let (dot, summary) = figures::fig2(8);
+        let path = out_dir.join("fig2-array-l8.dot");
+        fs::write(&path, dot).expect("write");
+        println!("wrote {}\n{}", path.display(), summary);
+    }
+    if which == "fig3" || which == "all" {
+        let (dot, summary) = figures::fig3(8);
+        let path = out_dir.join("fig3-mmmc-l8.dot");
+        fs::write(&path, dot).expect("write");
+        println!("wrote {}\n{}", path.display(), summary);
+    }
+    if which == "fig4" || which == "all" {
+        println!("{}", figures::fig4(8));
+    }
+}

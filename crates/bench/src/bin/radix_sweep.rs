@@ -1,0 +1,22 @@
+//! Radix-2^alpha sweep (section 2): iterations fall as ceil((l+2)/alpha),
+//! cell latency grows; the product has a sweet spot.
+
+use mmm_bench::{cells, radix, textable::TexTable};
+
+fn main() {
+    let rows = radix::compute(1024, &[1, 2, 4, 8, 16, 32]);
+    let mut t = TexTable::new(&["alpha", "iterations", "cycles", "Tp ns", "TMMM us"]);
+    for r in &rows {
+        t.row(cells![
+            r.alpha,
+            r.iterations,
+            r.cycles,
+            format!("{:.3}", r.tp_ns),
+            format!("{:.3}", r.tmmm_us),
+        ]);
+    }
+    println!("Radix sweep at l = 1024 (functionally validated at l = 24 per radix)");
+    println!("{}", t.render());
+    let best = radix::best(&rows);
+    println!("sweet spot: alpha = {} ({:.3} us)", best.alpha, best.tmmm_us);
+}

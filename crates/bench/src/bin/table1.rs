@@ -1,0 +1,30 @@
+//! Regenerates the paper's Table 1: clock period and average modular
+//! exponentiation time per bit length, model and measured, next to the
+//! published values.
+
+use mmm_bench::{cells, paper::rel_err_pct, table1, textable::TexTable};
+
+fn main() {
+    // Measure a real exponentiation up to 1024 bits in release builds;
+    // the wave engine does a 1024-bit exponentiation in seconds.
+    let measure_up_to = if cfg!(debug_assertions) { 128 } else { 1024 };
+    let rows = table1::compute(measure_up_to);
+    let mut t = TexTable::new(&[
+        "l", "Tp ns", "paper Tp", "err%", "model ms", "measured ms", "paper ms", "err%",
+    ]);
+    for r in &rows {
+        t.row(cells![
+            r.l,
+            format!("{:.3}", r.tp_ns),
+            format!("{:.3}", r.paper_tp),
+            format!("{:+.1}", rel_err_pct(r.tp_ns, r.paper_tp)),
+            format!("{:.3}", r.model_ms),
+            format!("{:.3}", r.measured_ms),
+            format!("{:.3}", r.paper_ms),
+            format!("{:+.1}", rel_err_pct(r.model_ms, r.paper_ms)),
+        ]);
+    }
+    println!("Table 1 — average modular exponentiation time (Xilinx V812E-BG-560-8 model)");
+    println!("{}", t.render());
+    println!("measured = Algorithm 3 on the cycle-accurate wave engine, random balanced exponent");
+}

@@ -1,0 +1,33 @@
+//! Regenerates the paper's Table 2: slices, clock period, time-area
+//! product and single-multiplication time per bit length.
+
+use mmm_bench::{cells, paper::rel_err_pct, table2, textable::TexTable};
+
+fn main() {
+    let gate_up_to = if cfg!(debug_assertions) { 128 } else { 1024 };
+    let rows = table2::compute(gate_up_to);
+    let mut t = TexTable::new(&[
+        "l", "S", "paper S", "err%", "Tp ns", "paper", "TA S*ns", "paper", "cycles", "TMMM us",
+        "paper", "err%", "measured",
+    ]);
+    for r in &rows {
+        t.row(cells![
+            r.l,
+            r.slices,
+            r.paper_slices,
+            format!("{:+.1}", rel_err_pct(r.slices as f64, r.paper_slices as f64)),
+            format!("{:.3}", r.tp_ns),
+            format!("{:.3}", r.paper_tp),
+            format!("{:.0}", r.ta),
+            format!("{:.0}", r.paper_ta),
+            r.cycles,
+            format!("{:.3}", r.tmmm_us),
+            format!("{:.3}", r.paper_tmmm),
+            format!("{:+.1}", rel_err_pct(r.tmmm_us, r.paper_tmmm)),
+            if r.gate_measured { "gate-level" } else { "wave-model" },
+        ]);
+    }
+    println!("Table 2 — MMMC implementation results (Xilinx V812E-BG-560-8 model)");
+    println!("{}", t.render());
+    println!("cycles column is measured from simulation and must equal 3l+4");
+}

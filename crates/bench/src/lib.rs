@@ -1,0 +1,29 @@
+//! # mmm-bench — experiment runners for every table and figure
+//!
+//! Each module computes one of the paper's results as structured rows
+//! (so integration tests can assert on them); the `src/bin/*` binaries
+//! print them next to the published numbers:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — Tp and average exponentiation time vs `l` |
+//! | `table2` | Table 2 — slices, Tp, TA, TMMM vs `l` (cycle counts *measured* at gate level) |
+//! | `eq10` | Eq. (10) — exponentiation cycle bounds vs measured cycles |
+//! | `area_check` | §4.3 — gate-count formulas and critical path, both FA styles |
+//! | `figures` | Figs. 1–4 — DOT/ASCII schematics from the real netlists |
+//! | `compare_baseline` | §2/§4.4 — ours vs Blum–Paar vs naive |
+//! | `radix_sweep` | §2 — radix-`2^α` iteration trade-off |
+//!
+//! Criterion benches live in `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod compare;
+pub mod eq10;
+pub mod figures;
+pub mod paper;
+pub mod radix;
+pub mod table1;
+pub mod table2;
+pub mod textable;

@@ -1,0 +1,71 @@
+//! The published numbers of Örs et al. (IPDPS 2003), Tables 1 and 2,
+//! kept in one place so every experiment compares against the same
+//! source of truth.
+
+/// A row of the paper's Table 1: `(l, Tp ns, avg T_mod-exp ms)`.
+pub const TABLE1: [(usize, f64, f64); 5] = [
+    (32, 9.256, 0.046),
+    (128, 10.242, 0.775),
+    (256, 9.956, 2.974),
+    (512, 10.501, 12.468),
+    (1024, 10.458, 49.508),
+];
+
+/// A row of the paper's Table 2:
+/// `(l, slices, Tp ns, TA slice·ns, TMMM µs)`.
+pub const TABLE2: [(usize, usize, f64, f64, f64); 6] = [
+    (32, 225, 9.256, 2082.6, 0.926),
+    (64, 418, 9.221, 3854.38, 1.807),
+    (128, 806, 10.242, 8255.05, 3.974),
+    (256, 1548, 9.956, 15411.88, 7.686),
+    (512, 2972, 10.501, 31208.97, 16.171),
+    (1024, 5706, 10.458, 59673.35, 32.168),
+];
+
+/// Relative error as a percentage.
+pub fn rel_err_pct(got: f64, want: f64) -> f64 {
+    if want == 0.0 {
+        0.0
+    } else {
+        (got - want) / want * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_are_internally_consistent() {
+        // Table 2's TA and TMMM columns are derived: TA = S·Tp,
+        // TMMM = (3l+4)·Tp. Verify the transcription.
+        for (l, s, tp, ta, tmmm) in TABLE2 {
+            assert!(
+                (s as f64 * tp - ta).abs() / ta < 0.001,
+                "TA inconsistent at l={l}"
+            );
+            let cycles = (3 * l + 4) as f64;
+            assert!(
+                (cycles * tp * 1e-3 - tmmm).abs() / tmmm < 0.001,
+                "TMMM inconsistent at l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_is_the_average_cost_model() {
+        for (l, tp, ms) in TABLE1 {
+            let model_ms = mmm_core::cost::modexp_avg_cycles(l) * tp * 1e-6;
+            assert!(
+                (model_ms - ms).abs() / ms < 0.01,
+                "Table 1 row l={l}: {model_ms:.3} vs {ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn rel_err() {
+        assert_eq!(rel_err_pct(110.0, 100.0), 10.0);
+        assert_eq!(rel_err_pct(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal fixed-width text table printer for the experiment binaries.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Default)]
+pub struct TexTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TexTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TexTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                line.push_str(&format!(" {:>width$} |", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut line = String::from("|");
+            for w in &widths {
+                line.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Shorthand for building a row of heterogeneous cells.
+#[macro_export]
+macro_rules! cells {
+    ($($v:expr),* $(,)?) => {
+        vec![$(format!("{}", $v)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TexTable::new(&["l", "value"]);
+        t.row(cells!["32", "1.5"]);
+        t.row(cells!["1024", "100.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{s}");
+        assert!(lines[3].contains("1024"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn rejects_ragged_rows() {
+        let mut t = TexTable::new(&["a", "b"]);
+        t.row(cells!["only one"]);
+    }
+}

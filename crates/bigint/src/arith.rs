@@ -1,0 +1,372 @@
+//! Ring arithmetic on [`Ubig`]: addition, checked subtraction,
+//! schoolbook and Karatsuba multiplication, and bit shifts.
+//!
+//! Operator impls are provided for both owned and borrowed operands so
+//! call sites can avoid clones in hot paths.
+
+use crate::limbs::{adc, mac, sbb, Limb, LIMB_BITS};
+use crate::ubig::Ubig;
+use std::ops::{Add, Mul, Shl, Shr, Sub};
+
+/// Products with both operands at or above this limb count use
+/// Karatsuba; below it, schoolbook wins on constant factors.
+const KARATSUBA_THRESHOLD: usize = 24;
+
+impl Ubig {
+    /// `self + other`.
+    pub fn add_ref(&self, other: &Ubig) -> Ubig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = false;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s, c) = adc(long[i], b, carry);
+            out.push(s);
+            carry = c;
+        }
+        if carry {
+            out.push(1);
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Ubig) -> Option<Ubig> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = false;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d, br) = sbb(self.limbs[i], b, borrow);
+            out.push(d);
+            borrow = br;
+        }
+        debug_assert!(!borrow);
+        Some(Ubig::from_limbs(out))
+    }
+
+    /// `|self - other|`.
+    pub fn abs_diff(&self, other: &Ubig) -> Ubig {
+        if self >= other {
+            self.checked_sub(other).expect("self >= other")
+        } else {
+            other.checked_sub(self).expect("other > self")
+        }
+    }
+
+    /// `self * other`, choosing schoolbook or Karatsuba by size.
+    pub fn mul_ref(&self, other: &Ubig) -> Ubig {
+        if self.is_zero() || other.is_zero() {
+            return Ubig::zero();
+        }
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            karatsuba(self, other)
+        } else {
+            schoolbook(self, other)
+        }
+    }
+
+    /// `self * self`, slightly cheaper than `mul` for large operands.
+    pub fn square(&self) -> Ubig {
+        // A dedicated squaring routine would halve the partial products;
+        // for the sizes used here (≤ 2048 bits) mul is within noise.
+        self.mul_ref(self)
+    }
+
+    /// `self << k`.
+    pub fn shl_bits(&self, k: usize) -> Ubig {
+        if self.is_zero() || k == 0 {
+            let mut v = self.clone();
+            if k > 0 {
+                v = shl_nonzero(&v, k);
+            }
+            return v;
+        }
+        shl_nonzero(self, k)
+    }
+
+    /// `self >> k`.
+    pub fn shr_bits(&self, k: usize) -> Ubig {
+        let limb_shift = k / LIMB_BITS;
+        let bit_shift = k % LIMB_BITS;
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let mut out: Vec<Limb> = self.limbs[limb_shift..].to_vec();
+        if bit_shift > 0 {
+            let mut carry = 0 as Limb;
+            for limb in out.iter_mut().rev() {
+                let new_carry = *limb << (LIMB_BITS - bit_shift);
+                *limb = (*limb >> bit_shift) | carry;
+                carry = new_carry;
+            }
+        }
+        Ubig::from_limbs(out)
+    }
+
+    /// Low `k` bits of `self` (i.e. `self mod 2^k`).
+    pub fn low_bits(&self, k: usize) -> Ubig {
+        let full = k / LIMB_BITS;
+        let part = k % LIMB_BITS;
+        if full >= self.limbs.len() {
+            return self.clone();
+        }
+        let mut out = self.limbs[..full].to_vec();
+        if part > 0 {
+            out.push(self.limbs[full] & ((1 << part) - 1));
+        }
+        Ubig::from_limbs(out)
+    }
+}
+
+fn shl_nonzero(v: &Ubig, k: usize) -> Ubig {
+    let limb_shift = k / LIMB_BITS;
+    let bit_shift = k % LIMB_BITS;
+    let mut out = vec![0 as Limb; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(&v.limbs);
+    } else {
+        let mut carry = 0 as Limb;
+        for &limb in &v.limbs {
+            out.push((limb << bit_shift) | carry);
+            carry = limb >> (LIMB_BITS - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    Ubig::from_limbs(out)
+}
+
+fn schoolbook(a: &Ubig, b: &Ubig) -> Ubig {
+    let mut out = vec![0 as Limb; a.limbs.len() + b.limbs.len()];
+    for (i, &ai) in a.limbs.iter().enumerate() {
+        let mut carry = 0 as Limb;
+        for (j, &bj) in b.limbs.iter().enumerate() {
+            let (lo, hi) = mac(ai, bj, out[i + j], carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + b.limbs.len()] = carry;
+    }
+    Ubig::from_limbs(out)
+}
+
+/// Karatsuba: split at half the smaller operand,
+/// `ab = hi_a·hi_b·B² + ((hi_a+lo_a)(hi_b+lo_b) − hi·hi − lo·lo)·B + lo_a·lo_b`.
+fn karatsuba(a: &Ubig, b: &Ubig) -> Ubig {
+    let split = a.limbs.len().min(b.limbs.len()) / 2;
+    let (a_lo, a_hi) = split_at_limb(a, split);
+    let (b_lo, b_hi) = split_at_limb(b, split);
+
+    let lo = a_lo.mul_ref(&b_lo);
+    let hi = a_hi.mul_ref(&b_hi);
+    let mid_full = a_lo.add_ref(&a_hi).mul_ref(&b_lo.add_ref(&b_hi));
+    let mid = mid_full
+        .checked_sub(&lo)
+        .and_then(|m| m.checked_sub(&hi))
+        .expect("Karatsuba middle term is non-negative");
+
+    hi.shl_bits(2 * split * LIMB_BITS)
+        .add(&mid.shl_bits(split * LIMB_BITS))
+        .add(&lo)
+}
+
+fn split_at_limb(v: &Ubig, at: usize) -> (Ubig, Ubig) {
+    if at >= v.limbs.len() {
+        return (v.clone(), Ubig::zero());
+    }
+    (
+        Ubig::from_limbs(v.limbs[..at].to_vec()),
+        Ubig::from_limbs(v.limbs[at..].to_vec()),
+    )
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_fn:ident) => {
+        impl $trait<&Ubig> for &Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: &Ubig) -> Ubig {
+                Ubig::$impl_fn(self, rhs)
+            }
+        }
+        impl $trait<Ubig> for Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: Ubig) -> Ubig {
+                Ubig::$impl_fn(&self, &rhs)
+            }
+        }
+        impl $trait<&Ubig> for Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: &Ubig) -> Ubig {
+                Ubig::$impl_fn(&self, rhs)
+            }
+        }
+        impl $trait<Ubig> for &Ubig {
+            type Output = Ubig;
+            fn $method(self, rhs: Ubig) -> Ubig {
+                Ubig::$impl_fn(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Mul, mul, mul_ref);
+
+impl Sub<&Ubig> for &Ubig {
+    type Output = Ubig;
+    /// # Panics
+    /// Panics on underflow; use [`Ubig::checked_sub`] to handle it.
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        self.checked_sub(rhs).expect("Ubig subtraction underflow")
+    }
+}
+impl Sub<Ubig> for Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: Ubig) -> Ubig {
+        &self - &rhs
+    }
+}
+impl Sub<&Ubig> for Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        &self - rhs
+    }
+}
+
+impl Shl<usize> for &Ubig {
+    type Output = Ubig;
+    fn shl(self, k: usize) -> Ubig {
+        self.shl_bits(k)
+    }
+}
+impl Shr<usize> for &Ubig {
+    type Output = Ubig;
+    fn shr(self, k: usize) -> Ubig {
+        self.shr_bits(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn add_with_limb_carry() {
+        let a = Ubig::from(u64::MAX);
+        let b = Ubig::one();
+        assert_eq!(a.add_ref(&b), Ubig::pow2(64));
+    }
+
+    #[test]
+    fn add_asymmetric_lengths_commutes() {
+        let a = Ubig::pow2(200);
+        let b = ub(12345);
+        assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert_eq!(ub(3).checked_sub(&ub(4)), None);
+        assert_eq!(ub(4).checked_sub(&ub(4)), Some(Ubig::zero()));
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = Ubig::pow2(128);
+        let b = Ubig::one();
+        let expect = Ubig::from(u128::MAX);
+        assert_eq!(a - b, expect);
+    }
+
+    #[test]
+    fn abs_diff_symmetric() {
+        assert_eq!(ub(10).abs_diff(&ub(3)), ub(7));
+        assert_eq!(ub(3).abs_diff(&ub(10)), ub(7));
+    }
+
+    #[test]
+    fn mul_small_matches_u128() {
+        for (a, b) in [(0u128, 5), (7, 9), (u64::MAX as u128, 2), (123456789, 987654321)] {
+            assert_eq!(&ub(a) * &ub(b), ub(a * b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let v = Ubig::pow2(300);
+        assert_eq!(&v * &Ubig::zero(), Ubig::zero());
+        assert_eq!(&v * &Ubig::one(), v);
+    }
+
+    #[test]
+    fn karatsuba_equals_schoolbook() {
+        // Force both paths on identical large operands.
+        let mut a_limbs = Vec::new();
+        let mut b_limbs = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..60u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+            a_limbs.push(state);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(i * 7 + 1);
+            b_limbs.push(state);
+        }
+        let a = Ubig::from_limbs(a_limbs);
+        let b = Ubig::from_limbs(b_limbs);
+        assert_eq!(karatsuba(&a, &b), schoolbook(&a, &b));
+    }
+
+    #[test]
+    fn shifts_are_inverses() {
+        let v = Ubig::from(0xDEAD_BEEF_u64);
+        for k in [0usize, 1, 13, 63, 64, 65, 130] {
+            assert_eq!(v.shl_bits(k).shr_bits(k), v, "k={k}");
+        }
+    }
+
+    #[test]
+    fn shr_below_zero_truncates() {
+        assert_eq!(ub(0b101).shr_bits(1), ub(0b10));
+        assert_eq!(ub(1).shr_bits(64), Ubig::zero());
+    }
+
+    #[test]
+    fn shl_matches_mul_by_pow2() {
+        let v = ub(0x1234_5678_9abc_def0);
+        for k in [1usize, 7, 64, 100] {
+            assert_eq!(v.shl_bits(k), &v * &Ubig::pow2(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn low_bits_is_mod_pow2() {
+        let v = Ubig::from(u128::MAX - 12345);
+        for k in [0usize, 1, 5, 64, 100, 127, 128, 200] {
+            let (_, r) = v.divrem(&Ubig::pow2(k).max(Ubig::one()));
+            if k == 0 {
+                assert!(v.low_bits(0).is_zero());
+            } else {
+                assert_eq!(v.low_bits(k), r, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_smoke() {
+        let a = Ubig::pow2(70) + ub(999);
+        let b = ub(12345678901234567890);
+        let c = Ubig::pow2(65) + ub(1);
+        assert_eq!((&a + &b) * &c, &(&a * &c) + &(&b * &c));
+    }
+}

@@ -1,0 +1,106 @@
+//! Byte-order conversions — the interface an RSA/ECC consumer needs to
+//! move between wire formats and [`Ubig`].
+
+use crate::limbs::Limb;
+use crate::ubig::Ubig;
+
+impl Ubig {
+    /// Big-endian bytes, minimal length (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = self.to_bytes_le();
+        out.reverse();
+        out
+    }
+
+    /// Little-endian bytes, minimal length (empty for zero).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let byte_len = self.bit_len().div_ceil(8);
+        let mut out = Vec::with_capacity(byte_len);
+        for i in 0..byte_len {
+            let limb = self.limbs().get(i / 8).copied().unwrap_or(0);
+            out.push((limb >> (8 * (i % 8))) as u8);
+        }
+        out
+    }
+
+    /// Big-endian bytes zero-padded on the left to exactly `len`.
+    ///
+    /// # Panics
+    /// Panics if the value needs more than `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, asked for {len}",
+            raw.len()
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Ubig {
+        let mut le = bytes.to_vec();
+        le.reverse();
+        Ubig::from_bytes_le(&le)
+    }
+
+    /// Parses little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Ubig {
+        let mut limbs = vec![0 as Limb; bytes.len().div_ceil(8)];
+        for (i, &b) in bytes.iter().enumerate() {
+            limbs[i / 8] |= (b as Limb) << (8 * (i % 8));
+        }
+        Ubig::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_le_roundtrip() {
+        for v in [0u128, 1, 0xFF, 0x100, 0xDEAD_BEEF_CAFE, u128::MAX] {
+            let u = Ubig::from(v);
+            assert_eq!(Ubig::from_bytes_be(&u.to_bytes_be()), u, "be {v}");
+            assert_eq!(Ubig::from_bytes_le(&u.to_bytes_le()), u, "le {v}");
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let u = Ubig::from(0x0102_0304u64);
+        assert_eq!(u.to_bytes_be(), [1, 2, 3, 4]);
+        assert_eq!(u.to_bytes_le(), [4, 3, 2, 1]);
+        assert_eq!(Ubig::zero().to_bytes_be(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn padded_encoding() {
+        let u = Ubig::from(0xABCDu64);
+        assert_eq!(u.to_bytes_be_padded(4), [0, 0, 0xAB, 0xCD]);
+        assert_eq!(u.to_bytes_be_padded(2), [0xAB, 0xCD]);
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for")]
+    fn padded_too_small_panics() {
+        Ubig::from(0xABCDu64).to_bytes_be_padded(1);
+    }
+
+    #[test]
+    fn leading_zeros_in_input_are_fine() {
+        let u = Ubig::from_bytes_be(&[0, 0, 0, 5]);
+        assert_eq!(u, Ubig::from(5u64));
+    }
+
+    #[test]
+    fn multi_limb_roundtrip() {
+        let u = Ubig::pow2(200) + Ubig::from(0x1234_5678u64);
+        let be = u.to_bytes_be();
+        assert_eq!(be.len(), 26); // 201 bits -> 26 bytes
+        assert_eq!(Ubig::from_bytes_be(&be), u);
+    }
+}

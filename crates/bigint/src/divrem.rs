@@ -1,0 +1,233 @@
+//! Division with remainder: single-limb short division and Knuth
+//! Algorithm D for multi-limb divisors.
+
+use crate::limbs::{div2by1, Limb, LIMB_BITS};
+use crate::ubig::Ubig;
+use std::ops::{Div, Rem};
+
+impl Ubig {
+    /// `(self / other, self % other)`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn divrem(&self, other: &Ubig) -> (Ubig, Ubig) {
+        assert!(!other.is_zero(), "division by zero");
+        match other.limbs.len() {
+            1 => {
+                let (q, r) = self.divrem_limb(other.limbs[0]);
+                (q, Ubig::from(r))
+            }
+            _ => {
+                if self < other {
+                    (Ubig::zero(), self.clone())
+                } else {
+                    knuth_d(self, other)
+                }
+            }
+        }
+    }
+
+    /// Short division by a single limb, returning `(quotient, remainder)`.
+    pub fn divrem_limb(&self, d: Limb) -> (Ubig, Limb) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0 as Limb; self.limbs.len()];
+        let mut rem = 0 as Limb;
+        for i in (0..self.limbs.len()).rev() {
+            let (qi, r) = div2by1(rem, self.limbs[i], d);
+            q[i] = qi;
+            rem = r;
+        }
+        (Ubig::from_limbs(q), rem)
+    }
+
+    /// `self mod other` (convenience wrapper over [`Ubig::divrem`]).
+    pub fn rem(&self, other: &Ubig) -> Ubig {
+        self.divrem(other).1
+    }
+}
+
+/// Knuth TAOCP vol. 2, 4.3.1, Algorithm D.
+///
+/// Preconditions (checked by the caller): `v` has ≥ 2 limbs and
+/// `u >= v`.
+fn knuth_d(u: &Ubig, v: &Ubig) -> (Ubig, Ubig) {
+    // D1: normalize so the divisor's top bit is set. This bounds the
+    // quotient-digit estimate error to at most 2 corrections.
+    let shift = v.limbs.last().unwrap().leading_zeros() as usize;
+    let vn = v.shl_bits(shift);
+    let un_big = u.shl_bits(shift);
+    let n = vn.limbs.len();
+
+    // Working dividend with one extra high limb (Knuth's u_{m+n}).
+    let mut un: Vec<Limb> = un_big.limbs.clone();
+    let m = un.len().saturating_sub(n);
+    un.push(0);
+
+    let v_top = vn.limbs[n - 1];
+    let v_next = vn.limbs[n - 2];
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2..D7: for each quotient digit position j from high to low.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two dividend limbs.
+        let hi = un[j + n];
+        let lo = un[j + n - 1];
+        let (mut qhat, mut rhat) = if hi >= v_top {
+            // qhat would overflow a limb; clamp to B-1. (hi == v_top is
+            // the only reachable case given normalization.)
+            (Limb::MAX, (((hi as u128) << LIMB_BITS | lo as u128) - (Limb::MAX as u128) * (v_top as u128)) as u128)
+        } else {
+            let (qh, rh) = div2by1(hi, lo, v_top);
+            (qh, rh as u128)
+        };
+        // Refine: while qhat * v_next exceeds the two-limb remainder
+        // estimate, decrement (at most twice in theory).
+        while rhat <= Limb::MAX as u128
+            && (qhat as u128) * (v_next as u128)
+                > ((rhat << LIMB_BITS) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += v_top as u128;
+        }
+
+        // D4: multiply-subtract un[j..j+n+1] -= qhat * vn.
+        let mut borrow = 0 as Limb; // borrow out of the subtraction chain
+        let mut mul_carry = 0 as Limb;
+        for i in 0..n {
+            let prod = (qhat as u128) * (vn.limbs[i] as u128) + mul_carry as u128;
+            mul_carry = (prod >> LIMB_BITS) as Limb;
+            let (d1, b1) = un[j + i].overflowing_sub(prod as Limb);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            un[j + i] = d2;
+            borrow = (b1 | b2) as Limb;
+        }
+        let (d1, b1) = un[j + n].overflowing_sub(mul_carry);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        un[j + n] = d2;
+
+        if b1 | b2 {
+            // D6: estimate was one too high — add the divisor back.
+            qhat -= 1;
+            let mut carry = false;
+            for i in 0..n {
+                let (s1, c1) = un[j + i].overflowing_add(vn.limbs[i]);
+                let (s2, c2) = s1.overflowing_add(carry as Limb);
+                un[j + i] = s2;
+                carry = c1 | c2;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as Limb);
+        }
+        q[j] = qhat;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = Ubig::from_limbs(un[..n].to_vec()).shr_bits(shift);
+    (Ubig::from_limbs(q), rem)
+}
+
+impl Div<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn div(self, rhs: &Ubig) -> Ubig {
+        self.divrem(rhs).0
+    }
+}
+impl Rem<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn rem(self, rhs: &Ubig) -> Ubig {
+        self.divrem(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = ub(1).divrem(&Ubig::zero());
+    }
+
+    #[test]
+    fn small_cases_match_u128() {
+        let cases: &[(u128, u128)] = &[
+            (0, 1),
+            (1, 1),
+            (100, 7),
+            (u64::MAX as u128, 2),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX - 1, u128::MAX),
+            (12345678901234567890123456789, 987654321),
+        ];
+        for &(a, b) in cases {
+            let (q, r) = ub(a).divrem(&ub(b));
+            assert_eq!(q, ub(a / b), "q for {a}/{b}");
+            assert_eq!(r, ub(a % b), "r for {a}%{b}");
+        }
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = ub(5).divrem(&Ubig::pow2(100));
+        assert!(q.is_zero());
+        assert_eq!(r, ub(5));
+    }
+
+    #[test]
+    fn exact_division() {
+        let d = Ubig::pow2(130) + ub(17);
+        let a = (&d * &d) * &d;
+        let (q, r) = a.divrem(&d);
+        assert!(r.is_zero());
+        assert_eq!(q, &d * &d);
+    }
+
+    #[test]
+    fn knuth_d_addback_case() {
+        // Crafted to exercise the rare D6 add-back path: dividend with
+        // top limbs just below divisor multiples.
+        let v = Ubig::from_limbs(vec![0, 0, 1 << 63]);
+        let u = Ubig::from_limbs(vec![Limb::MAX, Limb::MAX, (1 << 63) - 1, Limb::MAX]);
+        let (q, r) = u.divrem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn reconstruction_pseudorandom_sweep() {
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for ulen in 1..8usize {
+            for vlen in 1..6usize {
+                let u = Ubig::from_limbs((0..ulen).map(|_| next()).collect());
+                let mut vl: Vec<Limb> = (0..vlen).map(|_| next()).collect();
+                if vl.iter().all(|&x| x == 0) {
+                    vl[0] = 1;
+                }
+                let v = Ubig::from_limbs(vl);
+                let (q, r) = u.divrem(&v);
+                assert_eq!(&(&q * &v) + &r, u, "ulen={ulen} vlen={vlen}");
+                assert!(r < v, "remainder bound ulen={ulen} vlen={vlen}");
+            }
+        }
+    }
+
+    #[test]
+    fn divrem_limb_matches_generic() {
+        let u = Ubig::from_limbs(vec![0x0123456789abcdef, 0xfedcba9876543210, 42]);
+        let (q1, r1) = u.divrem_limb(12345);
+        let (q2, r2) = u.divrem(&ub(12345));
+        assert_eq!(q1, q2);
+        assert_eq!(Ubig::from(r1), r2);
+    }
+}

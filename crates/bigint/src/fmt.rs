@@ -1,0 +1,181 @@
+//! Formatting and parsing: decimal and hexadecimal round-trips.
+
+use crate::ubig::Ubig;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing a [`Ubig`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUbigError {
+    /// The offending character.
+    pub bad_char: char,
+    /// Byte offset of the offending character.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid digit {:?} at position {}",
+            self.bad_char, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseUbigError {}
+
+impl Ubig {
+    /// Parses a decimal string (optional `_` separators allowed).
+    pub fn from_dec(s: &str) -> Result<Ubig, ParseUbigError> {
+        let mut v = Ubig::zero();
+        let ten = Ubig::from(10u64);
+        for (i, ch) in s.chars().enumerate() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch.to_digit(10).ok_or(ParseUbigError {
+                bad_char: ch,
+                position: i,
+            })?;
+            v = &(&v * &ten) + &Ubig::from(d as u64);
+        }
+        Ok(v)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, `_` allowed).
+    pub fn from_hex(s: &str) -> Result<Ubig, ParseUbigError> {
+        let mut v = Ubig::zero();
+        for (i, ch) in s.chars().enumerate() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch.to_digit(16).ok_or(ParseUbigError {
+                bad_char: ch,
+                position: i,
+            })?;
+            v = v.shl_bits(4);
+            v = &v + &Ubig::from(d as u64);
+        }
+        Ok(v)
+    }
+
+    /// Decimal string representation.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        // Peel 19 decimal digits at a time (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut v = self.clone();
+        while !v.is_zero() {
+            let (q, r) = v.divrem_limb(CHUNK);
+            chunks.push(r);
+            v = q;
+        }
+        let mut out = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for c in chunks.into_iter().rev() {
+            out.push_str(&format!("{c:019}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec())
+    }
+}
+
+// Debug shows hex, which maps directly onto limb/bit structure.
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig(0x{:x})", self)
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.limbs.is_empty() {
+            return f.write_str("0");
+        }
+        let mut iter = self.limbs.iter().rev();
+        write!(f, "{:x}", iter.next().unwrap())?;
+        for limb in iter {
+            write!(f, "{limb:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Ubig {
+    type Err = ParseUbigError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            Ubig::from_hex(hex)
+        } else {
+            Ubig::from_dec(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dec_roundtrip() {
+        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455"] {
+            assert_eq!(Ubig::from_dec(s).unwrap().to_dec(), s);
+        }
+    }
+
+    #[test]
+    fn dec_with_separators() {
+        assert_eq!(
+            Ubig::from_dec("1_000_000").unwrap(),
+            Ubig::from(1_000_000u64)
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let v = Ubig::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(format!("{v:x}"), "deadbeefcafebabe0123456789abcdef");
+    }
+
+    #[test]
+    fn hex_leading_zero_limbs() {
+        let v = Ubig::pow2(64); // one zero low limb
+        assert_eq!(format!("{v:x}"), "10000000000000000");
+        assert_eq!(Ubig::from_hex("10000000000000000").unwrap(), v);
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = Ubig::from_dec("12a4").unwrap_err();
+        assert_eq!(err.bad_char, 'a');
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn from_str_dispatches_on_prefix() {
+        assert_eq!("0x10".parse::<Ubig>().unwrap(), Ubig::from(16u64));
+        assert_eq!("10".parse::<Ubig>().unwrap(), Ubig::from(10u64));
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(Ubig::zero().to_string(), "0");
+        assert_eq!(format!("{:x}", Ubig::zero()), "0");
+    }
+
+    #[test]
+    fn dec_chunk_padding() {
+        // A value whose second chunk starts with zeros exercises the
+        // {:019} pad.
+        let v = Ubig::from_dec("10000000000000000000000000001").unwrap();
+        assert_eq!(v.to_dec(), "10000000000000000000000000001");
+    }
+}

@@ -1,0 +1,114 @@
+//! Low-level limb primitives: add-with-carry, subtract-with-borrow,
+//! multiply-accumulate. All higher-level arithmetic reduces to these.
+
+/// The limb type. All multi-precision values are little-endian vectors
+/// of `Limb`.
+pub type Limb = u64;
+
+/// Number of bits in a limb.
+pub const LIMB_BITS: usize = 64;
+
+/// `a + b + carry`, returning `(sum, carry_out)`.
+#[inline]
+pub fn adc(a: Limb, b: Limb, carry: bool) -> (Limb, bool) {
+    let (s1, c1) = a.overflowing_add(b);
+    let (s2, c2) = s1.overflowing_add(carry as Limb);
+    (s2, c1 | c2)
+}
+
+/// `a - b - borrow`, returning `(diff, borrow_out)`.
+#[inline]
+pub fn sbb(a: Limb, b: Limb, borrow: bool) -> (Limb, bool) {
+    let (d1, b1) = a.overflowing_sub(b);
+    let (d2, b2) = d1.overflowing_sub(borrow as Limb);
+    (d2, b1 | b2)
+}
+
+/// `a * b + c + d` as a double-width result `(lo, hi)`.
+///
+/// The identity `max(a)*max(b) + max(c) + max(d) = 2^128 - 1` guarantees
+/// this never overflows the `u128` intermediate.
+#[inline]
+pub fn mac(a: Limb, b: Limb, c: Limb, d: Limb) -> (Limb, Limb) {
+    let wide = (a as u128) * (b as u128) + (c as u128) + (d as u128);
+    (wide as Limb, (wide >> LIMB_BITS) as Limb)
+}
+
+/// Divides the double-width value `(hi, lo)` by `div`, returning
+/// `(quotient, remainder)`. Requires `hi < div` so the quotient fits in
+/// one limb.
+#[inline]
+pub fn div2by1(hi: Limb, lo: Limb, div: Limb) -> (Limb, Limb) {
+    debug_assert!(hi < div, "quotient would overflow a limb");
+    let n = ((hi as u128) << LIMB_BITS) | (lo as u128);
+    ((n / div as u128) as Limb, (n % div as u128) as Limb)
+}
+
+/// Propagates an addition of `carry` into `limbs`, returning the final
+/// carry-out.
+#[inline]
+pub fn add_carry_through(limbs: &mut [Limb], mut carry: bool) -> bool {
+    for limb in limbs {
+        if !carry {
+            return false;
+        }
+        let (s, c) = limb.overflowing_add(1);
+        *limb = s;
+        carry = c;
+    }
+    carry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_no_carry() {
+        assert_eq!(adc(1, 2, false), (3, false));
+    }
+
+    #[test]
+    fn adc_carry_in_and_out() {
+        assert_eq!(adc(Limb::MAX, 0, true), (0, true));
+        assert_eq!(adc(Limb::MAX, Limb::MAX, true), (Limb::MAX, true));
+    }
+
+    #[test]
+    fn sbb_underflow() {
+        assert_eq!(sbb(0, 1, false), (Limb::MAX, true));
+        assert_eq!(sbb(0, 0, true), (Limb::MAX, true));
+        assert_eq!(sbb(5, 2, true), (2, false));
+    }
+
+    #[test]
+    fn mac_extremes_do_not_overflow() {
+        let (lo, hi) = mac(Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX);
+        // (2^64-1)^2 + 2(2^64-1) = 2^128 - 1
+        assert_eq!(lo, Limb::MAX);
+        assert_eq!(hi, Limb::MAX);
+    }
+
+    #[test]
+    fn div2by1_roundtrip() {
+        let (q, r) = div2by1(3, 12345, 7);
+        let n = (3u128 << 64) | 12345;
+        assert_eq!(q as u128, n / 7);
+        assert_eq!(r as u128, n % 7);
+    }
+
+    #[test]
+    fn carry_through_ripple() {
+        let mut v = [Limb::MAX, Limb::MAX, 7];
+        let out = add_carry_through(&mut v, true);
+        assert!(!out);
+        assert_eq!(v, [0, 0, 8]);
+    }
+
+    #[test]
+    fn carry_through_overflows_out() {
+        let mut v = [Limb::MAX];
+        assert!(add_carry_through(&mut v, true));
+        assert_eq!(v, [0]);
+    }
+}

@@ -1,0 +1,409 @@
+//! Modular arithmetic over [`Ubig`]: residue normalization, modular
+//! add/sub/mul, binary GCD, extended Euclid (modular inverse), and
+//! square-and-multiply exponentiation.
+//!
+//! These routines are the *oracle* layer: deliberately simple and
+//! obviously-correct implementations against which every Montgomery
+//! engine (software, behavioral, gate-level) is validated.
+
+use crate::ubig::Ubig;
+
+impl Ubig {
+    /// `(self + other) mod n`. Operands need not be reduced.
+    pub fn modadd(&self, other: &Ubig, n: &Ubig) -> Ubig {
+        (&(self.rem(n)) + &other.rem(n)).rem(n)
+    }
+
+    /// `(self - other) mod n`. Operands need not be reduced.
+    pub fn modsub(&self, other: &Ubig, n: &Ubig) -> Ubig {
+        let a = self.rem(n);
+        let b = other.rem(n);
+        if a >= b {
+            a - b
+        } else {
+            &(&a + n) - &b
+        }
+    }
+
+    /// `(self * other) mod n`.
+    pub fn modmul(&self, other: &Ubig, n: &Ubig) -> Ubig {
+        (self * other).rem(n)
+    }
+
+    /// `self^e mod n` by left-to-right square-and-multiply — the same
+    /// exponent scan order as the paper's Algorithm 3, so cycle-count
+    /// models can reuse the scan.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn modpow(&self, e: &Ubig, n: &Ubig) -> Ubig {
+        assert!(!n.is_zero(), "modulus must be nonzero");
+        if n.is_one() {
+            return Ubig::zero();
+        }
+        if e.is_zero() {
+            return Ubig::one();
+        }
+        let base = self.rem(n);
+        let t = e.bit_len();
+        // Algorithm 3: A ← M, then for i = t-2 .. 0 square, and
+        // multiply when e_i = 1 (e_{t-1} is 1 by definition).
+        let mut a = base.clone();
+        for i in (0..t - 1).rev() {
+            a = a.modmul(&a, n);
+            if e.bit(i) {
+                a = a.modmul(&base, n);
+            }
+        }
+        a
+    }
+
+    /// Greatest common divisor (binary GCD, no division).
+    pub fn gcd(&self, other: &Ubig) -> Ubig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros().unwrap();
+        let bz = b.trailing_zeros().unwrap();
+        let common = az.min(bz);
+        a = a.shr_bits(az);
+        b = b.shr_bits(bz);
+        loop {
+            // Both odd here.
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b - &a;
+            if b.is_zero() {
+                return a.shl_bits(common);
+            }
+            b = b.shr_bits(b.trailing_zeros().unwrap());
+        }
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, other: &Ubig) -> Ubig {
+        if self.is_zero() || other.is_zero() {
+            return Ubig::zero();
+        }
+        let g = self.gcd(other);
+        (self / &g) * other.clone()
+    }
+
+    /// Modular inverse: `self⁻¹ mod n`, or `None` when
+    /// `gcd(self, n) ≠ 1`.
+    pub fn modinv(&self, n: &Ubig) -> Option<Ubig> {
+        if n.is_zero() || n.is_one() {
+            return None;
+        }
+        // Extended Euclid tracking only the coefficient of `self`,
+        // with (value, sign) pairs to stay in unsigned arithmetic.
+        let mut r0 = self.rem(n);
+        let mut r1 = n.clone();
+        if r0.is_zero() {
+            return None;
+        }
+        // t0/t1 are coefficients such that t * self ≡ r (mod n).
+        let mut t0 = (Ubig::one(), false); // (magnitude, is_negative)
+        let mut t1 = (Ubig::zero(), false);
+        while !r1.is_zero() {
+            let (q, r) = r0.divrem(&r1);
+            // t_next = t0 - q * t1  (signed)
+            let qt1 = &q * &t1.0;
+            let t_next = signed_sub(&t0, &(qt1, t1.1));
+            r0 = std::mem::replace(&mut r1, r);
+            t0 = std::mem::replace(&mut t1, t_next);
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        let mag = mag.rem(n);
+        Some(if neg && !mag.is_zero() { n - &mag } else { mag })
+    }
+
+    /// `-self⁻¹ mod 2^k` — the Montgomery `N'` parameter for word base
+    /// `2^k`. Requires `self` odd.
+    pub fn neg_inv_pow2(&self, k: usize) -> Ubig {
+        assert!(self.is_odd(), "N must be odd for Montgomery arithmetic");
+        // Newton–Hensel lifting: x_{i+1} = x_i (2 - N x_i) mod 2^{2^i}.
+        let modulus_bits = k;
+        let mut x = Ubig::one(); // inverse mod 2
+        let mut bits = 1usize;
+        while bits < modulus_bits {
+            bits = (bits * 2).min(modulus_bits);
+            let two = Ubig::from(2u64);
+            let nx = (self * &x).low_bits(bits);
+            let term = if two >= nx {
+                two - &nx
+            } else {
+                // 2 - nx mod 2^bits
+                (&Ubig::pow2(bits) + &two) - &nx
+            };
+            x = (&x * &term).low_bits(bits);
+        }
+        // x = N^{-1} mod 2^k; return 2^k - x (mod 2^k).
+        let inv = x.low_bits(k);
+        if inv.is_zero() {
+            Ubig::zero()
+        } else {
+            Ubig::pow2(k) - &inv
+        }
+    }
+}
+
+/// `a - b` on (magnitude, sign) pairs.
+fn signed_sub(a: &(Ubig, bool), b: &(Ubig, bool)) -> (Ubig, bool) {
+    match (a.1, b.1) {
+        // a - b with like signs: magnitude subtraction.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.checked_sub(&b.0).unwrap(), false)
+            } else {
+                (b.0.checked_sub(&a.0).unwrap(), true)
+            }
+        }
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.checked_sub(&a.0).unwrap(), false)
+            } else {
+                (a.0.checked_sub(&b.0).unwrap(), true)
+            }
+        }
+        // (+a) - (-b) = a + b ; (-a) - (+b) = -(a + b)
+        (false, true) => (&a.0 + &b.0, false),
+        (true, false) => (&a.0 + &b.0, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn modadd_wraps() {
+        let n = ub(97);
+        assert_eq!(ub(96).modadd(&ub(5), &n), ub(4));
+        assert_eq!(ub(200).modadd(&ub(300), &n), ub((200 + 300) % 97));
+    }
+
+    #[test]
+    fn modsub_wraps_negative() {
+        let n = ub(97);
+        assert_eq!(ub(3).modsub(&ub(5), &n), ub(95));
+        assert_eq!(ub(5).modsub(&ub(3), &n), ub(2));
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        let n = ub(1000000007);
+        assert_eq!(ub(2).modpow(&ub(10), &n), ub(1024));
+        assert_eq!(ub(5).modpow(&Ubig::zero(), &n), Ubig::one());
+        assert_eq!(ub(5).modpow(&ub(1), &n), ub(5));
+        // Fermat: a^(p-1) = 1 mod p
+        assert_eq!(ub(1234567).modpow(&ub(1000000006), &n), Ubig::one());
+    }
+
+    #[test]
+    fn modpow_mod_one_is_zero() {
+        assert_eq!(ub(5).modpow(&ub(3), &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(ub(12).gcd(&ub(18)), ub(6));
+        assert_eq!(ub(17).gcd(&ub(13)), ub(1));
+        assert_eq!(Ubig::zero().gcd(&ub(5)), ub(5));
+        assert_eq!(ub(5).gcd(&Ubig::zero()), ub(5));
+        assert_eq!(ub(48).gcd(&ub(48)), ub(48));
+    }
+
+    #[test]
+    fn gcd_large_power_of_two_factors() {
+        let a = Ubig::pow2(100) * ub(3);
+        let b = Ubig::pow2(90) * ub(9);
+        assert_eq!(a.gcd(&b), Ubig::pow2(90) * ub(3));
+    }
+
+    #[test]
+    fn lcm_relates_to_gcd() {
+        let a = ub(12);
+        let b = ub(18);
+        assert_eq!(a.lcm(&b), ub(36));
+        assert_eq!(&a.lcm(&b) * &a.gcd(&b), &a * &b);
+    }
+
+    #[test]
+    fn modinv_roundtrip() {
+        let n = ub(1000000007);
+        for a in [1u128, 2, 3, 999999999, 123456789] {
+            let inv = ub(a).modinv(&n).expect("prime modulus");
+            assert_eq!(ub(a).modmul(&inv, &n), Ubig::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modinv_noncoprime_is_none() {
+        assert_eq!(ub(6).modinv(&ub(9)), None);
+        assert_eq!(Ubig::zero().modinv(&ub(7)), None);
+        assert_eq!(ub(5).modinv(&Ubig::one()), None);
+    }
+
+    #[test]
+    fn modinv_of_value_larger_than_modulus() {
+        let n = ub(101);
+        let inv = ub(1000).modinv(&n).unwrap();
+        assert_eq!(ub(1000).modmul(&inv, &n), Ubig::one());
+    }
+
+    #[test]
+    fn neg_inv_pow2_is_montgomery_nprime() {
+        // For odd N, N * N' ≡ -1 (mod 2^k).
+        for (n, k) in [(97u128, 8usize), (0xF123456789abcdf1, 64), (3, 2), (1, 4)] {
+            let n = ub(n);
+            let nprime = n.neg_inv_pow2(k);
+            let prod = (&n * &nprime).low_bits(k);
+            let minus_one = Ubig::pow2(k) - &Ubig::one();
+            assert_eq!(prod, minus_one, "N={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn neg_inv_pow2_radix2_is_one() {
+        // The paper (§3): for odd N and α=1, N' = 1.
+        for n in [3u128, 5, 97, 1000003] {
+            assert_eq!(ub(n).neg_inv_pow2(1), Ubig::one(), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn neg_inv_pow2_rejects_even() {
+        ub(4).neg_inv_pow2(8);
+    }
+}
+
+impl Ubig {
+    /// Modular square root for prime modulus `p` (Tonelli–Shanks;
+    /// the `p ≡ 3 (mod 4)` case short-circuits to one exponentiation).
+    /// Returns `None` when `self` is a quadratic non-residue.
+    ///
+    /// Correctness requires `p` prime; composite moduli give garbage
+    /// (as with every Tonelli–Shanks implementation).
+    pub fn modsqrt(&self, p: &Ubig) -> Option<Ubig> {
+        let two = Ubig::from(2u64);
+        if p == &two {
+            return Some(self.rem(p));
+        }
+        let a = self.rem(p);
+        if a.is_zero() {
+            return Some(Ubig::zero());
+        }
+        let one = Ubig::one();
+        let p_minus_1 = p - &one;
+        // Euler criterion.
+        let legendre = a.modpow(&p_minus_1.shr_bits(1), p);
+        if legendre != one {
+            return None;
+        }
+        if p.bit(1) {
+            // p ≡ 3 (mod 4): sqrt = a^{(p+1)/4}.
+            let r = a.modpow(&(p + &one).shr_bits(2), p);
+            return Some(r);
+        }
+        // Tonelli–Shanks: write p−1 = q·2^s with q odd.
+        let s = p_minus_1.trailing_zeros().expect("p > 2 so p-1 > 0");
+        let q = p_minus_1.shr_bits(s);
+        // Find a non-residue z.
+        let mut z = two.clone();
+        while z.modpow(&p_minus_1.shr_bits(1), p) == one {
+            z = &z + &one;
+        }
+        let mut m = s;
+        let mut c = z.modpow(&q, p);
+        let mut t = a.modpow(&q, p);
+        let mut r = a.modpow(&(&q + &one).shr_bits(1), p);
+        while !t.is_one() {
+            // Least i with t^(2^i) = 1.
+            let mut i = 0usize;
+            let mut t2 = t.clone();
+            while !t2.is_one() {
+                t2 = t2.modmul(&t2, p);
+                i += 1;
+                if i == m {
+                    return None; // not a residue (can't happen post-Euler)
+                }
+            }
+            let mut b = c.clone();
+            for _ in 0..(m - i - 1) {
+                b = b.modmul(&b, p);
+            }
+            m = i;
+            c = b.modmul(&b, p);
+            t = t.modmul(&c, p);
+            r = r.modmul(&b, p);
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod sqrt_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sqrt_mod_p_3_mod_4() {
+        let p = Ubig::from(40487u64); // prime, ≡ 3 mod 4
+        for a in [1u64, 4, 9, 1000, 39999] {
+            let a = Ubig::from(a);
+            let sq = a.modmul(&a, &p);
+            let r = sq.modsqrt(&p).expect("square must have a root");
+            assert_eq!(r.modmul(&r, &p), sq);
+        }
+    }
+
+    #[test]
+    fn sqrt_mod_p_1_mod_4_tonelli_shanks() {
+        let p = Ubig::from(65537u64); // Fermat prime, p-1 = 2^16: deep s
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let a = Ubig::random_range(&mut rng, &Ubig::one(), &p);
+            let sq = a.modmul(&a, &p);
+            let r = sq.modsqrt(&p).expect("square must have a root");
+            assert_eq!(r.modmul(&r, &p), sq);
+        }
+    }
+
+    #[test]
+    fn non_residue_returns_none() {
+        let p = Ubig::from(23u64); // 5 is a non-residue mod 23
+        assert_eq!(Ubig::from(5u64).modsqrt(&p), None);
+        // Count: exactly (p-1)/2 non-residues.
+        let non_residues = (1u64..23)
+            .filter(|&a| Ubig::from(a).modsqrt(&p).is_none())
+            .count();
+        assert_eq!(non_residues, 11);
+    }
+
+    #[test]
+    fn sqrt_of_zero_and_mersenne_prime() {
+        let p = Ubig::pow2(61) - Ubig::one();
+        assert_eq!(Ubig::zero().modsqrt(&p), Some(Ubig::zero()));
+        let a = Ubig::from(123456789u64);
+        let sq = a.modmul(&a, &p);
+        let r = sq.modsqrt(&p).unwrap();
+        assert_eq!(r.modmul(&r, &p), sq);
+        assert!(r == a || &r + &a == p, "root is ±a");
+    }
+}

@@ -1,0 +1,209 @@
+//! Word-level Montgomery multiplication (CIOS — Coarsely Integrated
+//! Operand Scanning) over 64-bit limbs.
+//!
+//! This is a *second, independently-derived* Montgomery implementation:
+//! where the paper's hardware works in radix 2 with `R = 2^{l+2}`, this
+//! one works in radix 2⁶⁴ with `R = 2^{64·s}`, `s = ⌈bits/64⌉`. The two
+//! agree only through the mathematics of `Mont(x,y) = xyR⁻¹ mod N`, so
+//! cross-checking the systolic engines against this one catches errors
+//! that a shared-code oracle could not.
+
+use crate::limbs::{mac, Limb, LIMB_BITS};
+use crate::ubig::Ubig;
+
+/// A Montgomery multiplication context for a fixed odd modulus, word
+/// base 2⁶⁴.
+#[derive(Debug, Clone)]
+pub struct WordMontgomery {
+    n: Ubig,
+    /// Number of limbs `s`; `R = 2^{64 s}`.
+    s: usize,
+    /// `-N⁻¹ mod 2⁶⁴`.
+    n0_inv: Limb,
+    /// `R² mod N`, used to enter the Montgomery domain.
+    r2: Ubig,
+}
+
+impl WordMontgomery {
+    /// Creates a context for odd modulus `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is even or zero.
+    pub fn new(n: &Ubig) -> Self {
+        assert!(n.is_odd(), "Montgomery requires an odd modulus");
+        let s = n.limbs().len();
+        let n0_inv = n
+            .neg_inv_pow2(LIMB_BITS)
+            .to_u64()
+            .expect("fits in one limb");
+        let r2 = Ubig::pow2(2 * s * LIMB_BITS).rem(n);
+        WordMontgomery {
+            n: n.clone(),
+            s,
+            n0_inv,
+            r2,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// `R = 2^{64 s}` for this context.
+    pub fn r(&self) -> Ubig {
+        Ubig::pow2(self.s * LIMB_BITS)
+    }
+
+    /// `Mont(x, y) = x·y·R⁻¹ mod N` via CIOS. Requires `x, y < N`.
+    pub fn mont_mul(&self, x: &Ubig, y: &Ubig) -> Ubig {
+        debug_assert!(x < &self.n && y < &self.n);
+        let s = self.s;
+        let xl = padded(x, s);
+        let yl = padded(y, s);
+        let nl = padded(&self.n, s);
+
+        // t has s+2 limbs: accumulator of the CIOS recurrence.
+        let mut t = vec![0 as Limb; s + 2];
+        for i in 0..s {
+            // t += x_i * y
+            let mut carry = 0 as Limb;
+            for j in 0..s {
+                let (lo, hi) = mac(xl[i], yl[j], t[j], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (sum, c) = t[s].overflowing_add(carry);
+            t[s] = sum;
+            t[s + 1] = c as Limb;
+
+            // m = t_0 * n0_inv mod 2^64 ; t += m * N ; t /= 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let (_, mut hi) = mac(m, nl[0], t[0], 0);
+            for j in 1..s {
+                let (lo, h) = mac(m, nl[j], t[j], hi);
+                t[j - 1] = lo;
+                hi = h;
+            }
+            let (sum, c) = t[s].overflowing_add(hi);
+            t[s - 1] = sum;
+            t[s] = t[s + 1] + c as Limb;
+            t[s + 1] = 0;
+        }
+
+        let mut result = Ubig::from_limbs(t[..=s].to_vec());
+        if result >= self.n {
+            result = result - &self.n;
+        }
+        result
+    }
+
+    /// Maps `x < N` into the Montgomery domain: `xR mod N`.
+    pub fn to_mont(&self, x: &Ubig) -> Ubig {
+        self.mont_mul(x, &self.r2)
+    }
+
+    /// Maps back from the Montgomery domain: `Mont(x̄, 1) = x`.
+    pub fn from_mont(&self, x: &Ubig) -> Ubig {
+        self.mont_mul(x, &Ubig::one())
+    }
+
+    /// `base^e mod N` entirely inside the Montgomery domain.
+    pub fn modpow(&self, base: &Ubig, e: &Ubig) -> Ubig {
+        if self.n.is_one() {
+            return Ubig::zero();
+        }
+        if e.is_zero() {
+            return Ubig::one();
+        }
+        let b = self.to_mont(&base.rem(&self.n));
+        let mut a = b.clone();
+        for i in (0..e.bit_len() - 1).rev() {
+            a = self.mont_mul(&a, &a);
+            if e.bit(i) {
+                a = self.mont_mul(&a, &b);
+            }
+        }
+        self.from_mont(&a)
+    }
+}
+
+fn padded(v: &Ubig, s: usize) -> Vec<Limb> {
+    let mut out = v.limbs().to_vec();
+    out.resize(s, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ub(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_modulus() {
+        WordMontgomery::new(&ub(100));
+    }
+
+    #[test]
+    fn mont_identity_roundtrip() {
+        let n = ub(0xFFFF_FFFF_FFFF_FFC5); // largest 64-bit prime
+        let ctx = WordMontgomery::new(&n);
+        for x in [0u128, 1, 2, 12345, 0xFFFF_FFFF_FFFF_FFC4] {
+            let xm = ctx.to_mont(&ub(x));
+            assert_eq!(ctx.from_mont(&xm), ub(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_modmul() {
+        let n = Ubig::from_dec("170141183460469231731687303715884105727").unwrap(); // 2^127-1
+        let ctx = WordMontgomery::new(&n);
+        let a = Ubig::from_dec("123456789012345678901234567890").unwrap();
+        let b = Ubig::from_dec("98765432109876543210987654321").unwrap();
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let cm = ctx.mont_mul(&am, &bm);
+        assert_eq!(ctx.from_mont(&cm), a.modmul(&b, &n));
+    }
+
+    #[test]
+    fn modpow_matches_reference() {
+        let n = ub(1000000007);
+        let ctx = WordMontgomery::new(&n);
+        for (b, e) in [(2u128, 100u128), (12345, 6789), (999999999, 1000000006)] {
+            assert_eq!(
+                ctx.modpow(&ub(b), &ub(e)),
+                ub(b).modpow(&ub(e), &n),
+                "b={b} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_edge_exponents() {
+        let n = ub(101);
+        let ctx = WordMontgomery::new(&n);
+        assert_eq!(ctx.modpow(&ub(5), &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.modpow(&ub(5), &Ubig::one()), ub(5));
+        assert_eq!(ctx.modpow(&Ubig::zero(), &ub(5)), Ubig::zero());
+    }
+
+    #[test]
+    fn multi_limb_modulus() {
+        // 2^255 - 19
+        let n = Ubig::pow2(255) - &ub(19);
+        let ctx = WordMontgomery::new(&n);
+        let a = Ubig::pow2(200) + &ub(7);
+        let b = Ubig::pow2(190) + &ub(11);
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        assert_eq!(
+            ctx.from_mont(&ctx.mont_mul(&am, &bm)),
+            a.modmul(&b, &n)
+        );
+    }
+}

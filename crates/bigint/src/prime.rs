@@ -1,0 +1,127 @@
+//! Primality testing (Miller–Rabin) and random prime generation, used
+//! by RSA key generation and ECC test-curve construction.
+
+use crate::ubig::Ubig;
+use crate::WordMontgomery;
+use rand::Rng;
+
+/// Small primes for trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+impl Ubig {
+    /// Probabilistic primality test: trial division by small primes,
+    /// then `rounds` Miller–Rabin rounds with random bases.
+    ///
+    /// Deterministic (exhaustive small-base) behaviour for values below
+    /// 2⁶⁴ is *not* claimed; error probability is ≤ 4^-rounds.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        if self < &Ubig::from(2u64) {
+            return false;
+        }
+        for &p in &SMALL_PRIMES {
+            let pb = Ubig::from(p);
+            if self == &pb {
+                return true;
+            }
+            if self.rem(&pb).is_zero() {
+                return false;
+            }
+        }
+        // self is odd and > 199 here.
+        let one = Ubig::one();
+        let n_minus_1 = self.checked_sub(&one).unwrap();
+        let s = n_minus_1.trailing_zeros().unwrap();
+        let d = n_minus_1.shr_bits(s);
+        let ctx = WordMontgomery::new(self);
+
+        'witness: for _ in 0..rounds {
+            let a = Ubig::random_range(rng, &Ubig::from(2u64), &n_minus_1);
+            let mut x = ctx.modpow(&a, &d);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = x.modmul(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    ///
+    /// The two top bits are set (so products of two such primes have
+    /// exactly `2·bits` bits — the standard RSA convention) and the low
+    /// bit is set (odd).
+    pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize, mr_rounds: usize) -> Ubig {
+        assert!(bits >= 4, "prime needs at least 4 bits");
+        loop {
+            let mut candidate = Ubig::random_exact_bits(rng, bits);
+            candidate.set_bit(0, true);
+            candidate.set_bit(bits - 2, true);
+            if candidate.is_probable_prime(rng, mr_rounds) {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_small_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in [2u64, 3, 5, 199, 211, 65537, 1000000007] {
+            assert!(
+                Ubig::from(p).is_probable_prime(&mut rng, 16),
+                "{p} is prime"
+            );
+        }
+        for c in [0u64, 1, 4, 221, 65535, 1000000008, 341, 561, 1729] {
+            // 341, 561, 1729 are Fermat pseudoprimes / Carmichael numbers.
+            assert!(
+                !Ubig::from(c).is_probable_prime(&mut rng, 16),
+                "{c} is composite"
+            );
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_127() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m127 = Ubig::pow2(127) - &Ubig::one();
+        assert!(m127.is_probable_prime(&mut rng, 12));
+        let m128ish = Ubig::pow2(128) - &Ubig::one(); // 3·5·17·…
+        assert!(!m128ish.is_probable_prime(&mut rng, 12));
+    }
+
+    #[test]
+    fn random_prime_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for bits in [16usize, 32, 64] {
+            let p = Ubig::random_prime(&mut rng, bits, 12);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(p.bit(bits - 2), "second-highest bit set");
+        }
+    }
+
+    #[test]
+    fn product_of_two_primes_is_composite() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = Ubig::random_prime(&mut rng, 32, 12);
+        let q = Ubig::random_prime(&mut rng, 32, 12);
+        assert!(!(&p * &q).is_probable_prime(&mut rng, 12));
+    }
+}

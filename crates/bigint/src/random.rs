@@ -1,0 +1,120 @@
+//! Uniform random [`Ubig`] sampling on top of any [`rand::Rng`].
+
+use crate::limbs::{Limb, LIMB_BITS};
+use crate::ubig::Ubig;
+use rand::Rng;
+
+impl Ubig {
+    /// Uniform value in `[0, 2^bits)`.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+        if bits == 0 {
+            return Ubig::zero();
+        }
+        let limbs = bits.div_ceil(LIMB_BITS);
+        let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits % LIMB_BITS;
+        if top_bits > 0 {
+            *v.last_mut().unwrap() &= (1 << top_bits) - 1;
+        }
+        Ubig::from_limbs(v)
+    }
+
+    /// Uniform value with the top bit set, i.e. exactly `bits`
+    /// significant bits.
+    pub fn random_exact_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+        assert!(bits > 0, "cannot have an exact bit length of 0");
+        let mut v = Ubig::random_bits(rng, bits);
+        v.set_bit(bits - 1, true);
+        v
+    }
+
+    /// Uniform value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Ubig) -> Ubig {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let bits = bound.bit_len();
+        // Expected < 2 iterations: a `bits`-bit sample is below `bound`
+        // with probability ≥ 1/2.
+        loop {
+            let v = Ubig::random_bits(rng, bits);
+            if &v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn random_range<R: Rng + ?Sized>(rng: &mut R, lo: &Ubig, hi: &Ubig) -> Ubig {
+        assert!(lo < hi, "empty range");
+        let span = hi.checked_sub(lo).expect("hi > lo");
+        lo + &Ubig::random_below(rng, &span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [0usize, 1, 7, 64, 65, 200] {
+            for _ in 0..20 {
+                let v = Ubig::random_bits(&mut rng, bits);
+                assert!(v.bit_len() <= bits, "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_exact_bits_sets_msb() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [1usize, 2, 64, 100] {
+            for _ in 0..20 {
+                let v = Ubig::random_exact_bits(&mut rng, bits);
+                assert_eq!(v.bit_len(), bits, "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_in_range_and_hits_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = Ubig::from(10u64);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let v = Ubig::random_below(&mut rng, &bound);
+            assert!(v < bound);
+            seen[v.to_u64().unwrap() as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues 0..10 should appear in 500 draws"
+        );
+    }
+
+    #[test]
+    fn random_range_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lo = Ubig::from(100u64);
+        let hi = Ubig::from(110u64);
+        for _ in 0..100 {
+            let v = Ubig::random_range(&mut rng, &lo, &hi);
+            assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_range_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = Ubig::random_range(&mut rng, &Ubig::from(5u64), &Ubig::from(5u64));
+    }
+}

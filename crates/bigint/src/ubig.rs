@@ -1,0 +1,288 @@
+//! The [`Ubig`] type: an arbitrary-precision unsigned integer stored as
+//! a normalized little-endian vector of 64-bit limbs.
+
+use crate::limbs::{Limb, LIMB_BITS};
+use std::cmp::Ordering;
+
+/// Arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` never has trailing zero limbs; zero is the empty
+/// vector. Every constructor and operation maintains this, so `==` on
+/// the limb vectors is value equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl Ubig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// `2^k`.
+    pub fn pow2(k: usize) -> Self {
+        let mut limbs = vec![0; k / LIMB_BITS + 1];
+        limbs[k / LIMB_BITS] = 1 << (k % LIMB_BITS);
+        Ubig { limbs }.normalized()
+    }
+
+    /// Builds from little-endian limbs (normalizes).
+    pub fn from_limbs(limbs: Vec<Limb>) -> Self {
+        Ubig { limbs }.normalized()
+    }
+
+    /// Builds from little-endian bits.
+    pub fn from_bits_le(bits: &[bool]) -> Self {
+        let mut limbs = vec![0 as Limb; bits.len().div_ceil(LIMB_BITS)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                limbs[i / LIMB_BITS] |= 1 << (i % LIMB_BITS);
+            }
+        }
+        Ubig { limbs }.normalized()
+    }
+
+    /// Little-endian bit vector of exactly `width` bits.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `width` bits.
+    pub fn to_bits_le(&self, width: usize) -> Vec<bool> {
+        assert!(
+            self.bit_len() <= width,
+            "value of {} bits does not fit in {} bits",
+            self.bit_len(),
+            width
+        );
+        (0..width).map(|i| self.bit(i)).collect()
+    }
+
+    /// Read-only view of the limbs (little-endian, normalized).
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// True iff the lowest bit is 0 (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// True iff the lowest bit is 1.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Bit `i` (zero beyond the top).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / LIMB_BITS)
+            .map_or(false, |l| (l >> (i % LIMB_BITS)) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let idx = i / LIMB_BITS;
+        if value {
+            if idx >= self.limbs.len() {
+                self.limbs.resize(idx + 1, 0);
+            }
+            self.limbs[idx] |= 1 << (i % LIMB_BITS);
+        } else if idx < self.limbs.len() {
+            self.limbs[idx] &= !(1 << (i % LIMB_BITS));
+            self.normalize();
+        }
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * LIMB_BITS - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Number of trailing zero bits (`None` for the value 0).
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * LIMB_BITS + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(((self.limbs[1] as u128) << LIMB_BITS) | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Strips trailing zero limbs in place.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    pub(crate) fn normalized(mut self) -> Self {
+        self.normalize();
+        self
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        Ubig { limbs: vec![v] }.normalized()
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        Ubig {
+            limbs: vec![v as Limb, (v >> LIMB_BITS) as Limb],
+        }
+        .normalized()
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_normalized_empty() {
+        assert!(Ubig::zero().limbs().is_empty());
+        assert!(Ubig::from(0u64).limbs().is_empty());
+        assert!(Ubig::from_limbs(vec![0, 0, 0]).limbs().is_empty());
+    }
+
+    #[test]
+    fn pow2_bit_positions() {
+        for k in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let p = Ubig::pow2(k);
+            assert_eq!(p.bit_len(), k + 1, "k={k}");
+            assert!(p.bit(k));
+            assert!(!p.bit(k + 1));
+            if k > 0 {
+                assert!(!p.bit(k - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        let v = Ubig::from(0b1011_0110u64);
+        let bits = v.to_bits_le(8);
+        assert_eq!(Ubig::from_bits_le(&bits), v);
+        assert_eq!(
+            bits,
+            [false, true, true, false, true, true, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn to_bits_le_rejects_narrow_width() {
+        Ubig::from(256u64).to_bits_le(8);
+    }
+
+    #[test]
+    fn set_bit_grows_and_shrinks() {
+        let mut v = Ubig::zero();
+        v.set_bit(130, true);
+        assert_eq!(v, Ubig::pow2(130));
+        v.set_bit(130, false);
+        assert!(v.is_zero());
+        assert!(v.limbs().is_empty(), "must renormalize after clearing");
+    }
+
+    #[test]
+    fn ordering_across_limb_counts() {
+        let small = Ubig::from(u64::MAX);
+        let big = Ubig::pow2(64);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Ubig::zero().is_even());
+        assert!(Ubig::one().is_odd());
+        assert!(Ubig::from(2u64).is_even());
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(Ubig::zero().trailing_zeros(), None);
+        assert_eq!(Ubig::one().trailing_zeros(), Some(0));
+        assert_eq!(Ubig::pow2(100).trailing_zeros(), Some(100));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Ubig::from(7u32).to_u64(), Some(7));
+        assert_eq!(Ubig::pow2(64).to_u64(), None);
+        assert_eq!(Ubig::pow2(64).to_u128(), Some(1u128 << 64));
+        assert_eq!(Ubig::pow2(128).to_u128(), None);
+        let v = u128::MAX;
+        assert_eq!(Ubig::from(v).to_u128(), Some(v));
+    }
+}

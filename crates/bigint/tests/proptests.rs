@@ -1,0 +1,191 @@
+//! Property-based tests for `mmm-bigint`: ring axioms, division
+//! invariants, modular-arithmetic identities, and cross-validation of
+//! the word-level Montgomery multiplier against naive reduction.
+
+use mmm_bigint::{Ubig, WordMontgomery};
+use proptest::prelude::*;
+
+/// Strategy: a Ubig with up to `max_limbs` random limbs.
+fn ubig(max_limbs: usize) -> impl Strategy<Value = Ubig> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(Ubig::from_limbs)
+}
+
+/// Strategy: a nonzero Ubig.
+fn ubig_nonzero(max_limbs: usize) -> impl Strategy<Value = Ubig> {
+    ubig(max_limbs).prop_map(|v| if v.is_zero() { Ubig::one() } else { v })
+}
+
+/// Strategy: an odd Ubig ≥ 3 (valid Montgomery modulus).
+fn ubig_odd(max_limbs: usize) -> impl Strategy<Value = Ubig> {
+    ubig_nonzero(max_limbs).prop_map(|mut v| {
+        v.set_bit(0, true);
+        if v.is_one() {
+            Ubig::from(3u64)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutative(a in ubig(8), b in ubig(8)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in ubig(6), b in ubig(6), c in ubig(6)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in ubig(8), b in ubig(8)) {
+        let s = &a + &b;
+        prop_assert_eq!(s.checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_commutative(a in ubig(8), b in ubig(8)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associative(a in ubig(4), b in ubig(4), c in ubig(4)) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in ubig(5), b in ubig(5), c in ubig(5)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn karatsuba_threshold_crossing(a in ubig(64), b in ubig(64)) {
+        // Operands large enough to take the Karatsuba path; verify the
+        // grade-school identity  (a+b)^2 = a^2 + 2ab + b^2.
+        let lhs = (&a + &b).square();
+        let two_ab = (&a * &b).shl_bits(1);
+        let rhs = &(&a.square() + &two_ab) + &b.square();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn divrem_reconstruction(a in ubig(10), b in ubig_nonzero(5)) {
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn div_by_self_is_one(a in ubig_nonzero(8)) {
+        let (q, r) = a.divrem(&a);
+        prop_assert_eq!(q, Ubig::one());
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn shifts_compose(a in ubig(6), k1 in 0usize..200, k2 in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(k1).shl_bits(k2), a.shl_bits(k1 + k2));
+    }
+
+    #[test]
+    fn shl_then_shr_identity(a in ubig(6), k in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(k).shr_bits(k), a);
+    }
+
+    #[test]
+    fn low_bits_matches_mod(a in ubig(6), k in 1usize..300) {
+        prop_assert_eq!(a.low_bits(k), a.rem(&Ubig::pow2(k)));
+    }
+
+    #[test]
+    fn bit_len_shl_additive(a in ubig_nonzero(6), k in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(k).bit_len(), a.bit_len() + k);
+    }
+
+    #[test]
+    fn dec_string_roundtrip(a in ubig(8)) {
+        prop_assert_eq!(Ubig::from_dec(&a.to_dec()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_string_roundtrip(a in ubig(8)) {
+        prop_assert_eq!(Ubig::from_hex(&format!("{a:x}")).unwrap(), a);
+    }
+
+    #[test]
+    fn bits_roundtrip(a in ubig(4)) {
+        let w = a.bit_len().max(1);
+        prop_assert_eq!(Ubig::from_bits_le(&a.to_bits_le(w)), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(4), b in ubig_nonzero(4)) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn gcd_commutative(a in ubig(4), b in ubig(4)) {
+        prop_assert_eq!(a.gcd(&b), b.gcd(&a));
+    }
+
+    #[test]
+    fn modpow_laws(base in ubig(3), e1 in 0u64..64, e2 in 0u64..64, n in ubig_odd(3)) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod n)
+        let lhs = base.modpow(&Ubig::from(e1 + e2), &n);
+        let rhs = base
+            .modpow(&Ubig::from(e1), &n)
+            .modmul(&base.modpow(&Ubig::from(e2), &n), &n);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in ubig_nonzero(3), n in ubig_odd(3)) {
+        if let Some(inv) = a.modinv(&n) {
+            prop_assert_eq!(a.modmul(&inv, &n), Ubig::one());
+            prop_assert!(inv < n);
+        } else {
+            prop_assert!(!a.gcd(&n).is_one() || n.is_one());
+        }
+    }
+
+    #[test]
+    fn word_montgomery_matches_naive(
+        a in ubig(4), b in ubig(4), n in ubig_odd(4)
+    ) {
+        let n = if n < Ubig::from(3u64) { Ubig::from(3u64) } else { n };
+        let ctx = WordMontgomery::new(&n);
+        let ar = a.rem(&n);
+        let br = b.rem(&n);
+        // Mont(aR, bR) = abR, so from_mont(mont_mul(to_mont a, to_mont b)) = ab mod n.
+        let got = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&ar), &ctx.to_mont(&br)));
+        prop_assert_eq!(got, ar.modmul(&br, &n));
+    }
+
+    #[test]
+    fn word_montgomery_modpow_matches(base in ubig(3), e in ubig(2), n in ubig_odd(3)) {
+        let ctx = WordMontgomery::new(&n);
+        prop_assert_eq!(ctx.modpow(&base, &e), base.modpow(&e, &n));
+    }
+
+    #[test]
+    fn neg_inv_pow2_identity(n in ubig_odd(3), k in 1usize..128) {
+        // N·N' ≡ -1 (mod 2^k)
+        let np = n.neg_inv_pow2(k);
+        let lhs = (&n * &np).low_bits(k);
+        let expect = Ubig::pow2(k) - &Ubig::one();
+        prop_assert_eq!(lhs, expect);
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in ubig(6), b in ubig(6)) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The four systolic array cells of Fig. 1.
+//!
+//! Each cell is given twice: as a plain boolean *behavioral* function
+//! (the specification) and as a *structural* netlist builder emitting
+//! exactly the gates the paper draws (FAs, HAs, ANDs, and the
+//! rightmost cell's XOR/OR). Exhaustive tests check the two agree on
+//! every input combination, and the per-cell gate censuses are the
+//! basis of the paper's array area formula (§4.3).
+//!
+//! Notation: cell `j` computes digit `j` of the stored value
+//! `U_i = 2·T_i` (the pre-halving sum — the divide-by-2 of Algorithm 2
+//! happens through the `t_{i-1,j+1}` wiring, which is also why
+//! `t_{i,0} = 0` always and bit 0 of U is never stored).
+
+use mmm_hdl::adders::{full_adder, half_adder, AdderCost};
+use mmm_hdl::{CarryStyle, Netlist, SignalId};
+
+/// Outputs of a regular / first-bit cell: `(t, c0, c1)`.
+pub type CellOut = (bool, bool, bool);
+
+// ------------------------------------------------------------------
+// Behavioral models (Eq. 4–9 of the paper).
+// ------------------------------------------------------------------
+
+/// Regular cell (Fig. 1a), Eq. (4):
+/// `4·c1 + 2·c0 + t = t_in + x·y + m·n + 2·c1_in + c0_in`.
+pub fn regular_behavior(
+    t_in: bool,
+    x: bool,
+    y: bool,
+    m: bool,
+    n: bool,
+    c0_in: bool,
+    c1_in: bool,
+) -> CellOut {
+    let sum = t_in as u8 + (x & y) as u8 + (m & n) as u8 + 2 * c1_in as u8 + c0_in as u8;
+    (sum & 1 == 1, (sum >> 1) & 1 == 1, (sum >> 2) & 1 == 1)
+}
+
+/// Rightmost cell (Fig. 1b), Eq. (5)+(7): produces `m_i` and the first
+/// carry; `t_{i,0}` is identically 0 and is not an output.
+/// Returns `(m, c0)`.
+pub fn rightmost_behavior(t_in: bool, x: bool, y0: bool) -> (bool, bool) {
+    let m = t_in ^ (x & y0);
+    let c0 = t_in | (x & y0);
+    (m, c0)
+}
+
+/// First-bit cell (Fig. 1c), Eq. (8):
+/// `4·c1 + 2·c0 + t = t_in + x·y1 + m·n1 + c0_in` (no c1 input).
+pub fn first_bit_behavior(
+    t_in: bool,
+    x: bool,
+    y1: bool,
+    m: bool,
+    n1: bool,
+    c0_in: bool,
+) -> CellOut {
+    let sum = t_in as u8 + (x & y1) as u8 + (m & n1) as u8 + c0_in as u8;
+    (sum & 1 == 1, (sum >> 1) & 1 == 1, (sum >> 2) & 1 == 1)
+}
+
+/// Leftmost cell (Fig. 1d), Eq. (9): since `n_l = 0` there is no `m·n`
+/// term; produces the two top digits `(t_l, t_{l+1})`.
+///
+/// The hardware computes `t_{l+1} = carry ⊕ c1_in`, which silently
+/// drops a weight-4 bit if both are set; [`leftmost_would_overflow`]
+/// exposes that condition so simulations can assert it never occurs on
+/// reachable states (it cannot, by the `T < 2N` bound).
+pub fn leftmost_behavior(t_in: bool, x: bool, yl: bool, c0_in: bool, c1_in: bool) -> (bool, bool) {
+    let sum = t_in as u8 + (x & yl) as u8 + c0_in as u8;
+    let t = sum & 1 == 1;
+    let carry = sum >> 1 == 1;
+    (t, carry ^ c1_in)
+}
+
+/// True when the leftmost cell's XOR would lose a carry (`carry` and
+/// `c1_in` simultaneously 1) — unreachable for in-bound operands.
+pub fn leftmost_would_overflow(t_in: bool, x: bool, yl: bool, c0_in: bool, c1_in: bool) -> bool {
+    let sum = t_in as u8 + (x & yl) as u8 + c0_in as u8;
+    (sum >> 1 == 1) && c1_in
+}
+
+// ------------------------------------------------------------------
+// Structural netlist builders.
+// ------------------------------------------------------------------
+
+/// Signals produced by a structural regular / first-bit cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSignals {
+    /// `t_{i,j}` — digit output.
+    pub t: SignalId,
+    /// Weight-2 carry to the next cell.
+    pub c0: SignalId,
+    /// Weight-4 carry to the next cell.
+    pub c1: SignalId,
+}
+
+/// Builds a regular cell (Fig. 1a): two FAs, one HA, two ANDs.
+pub fn regular_cell(
+    nl: &mut Netlist,
+    style: CarryStyle,
+    t_in: SignalId,
+    x: SignalId,
+    y: SignalId,
+    m: SignalId,
+    n: SignalId,
+    c0_in: SignalId,
+    c1_in: SignalId,
+) -> CellSignals {
+    let xy = nl.and2(x, y);
+    let mn = nl.and2(m, n);
+    // FA1 accumulates the three weight-1 partial products.
+    let (s1, k1) = full_adder(nl, style, t_in, xy, mn);
+    // HA folds in the weight-1 carry from the right neighbour.
+    let (t, k2) = half_adder(nl, s1, c0_in);
+    // FA2 combines the three weight-2 terms into (c0, c1).
+    let (c0, c1) = full_adder(nl, style, k1, c1_in, k2);
+    CellSignals { t, c0, c1 }
+}
+
+/// Builds the rightmost cell (Fig. 1b): one AND, one XOR, one OR.
+/// Returns `(m, c0)`.
+pub fn rightmost_cell(
+    nl: &mut Netlist,
+    t_in: SignalId,
+    x: SignalId,
+    y0: SignalId,
+) -> (SignalId, SignalId) {
+    let xy = nl.and2(x, y0);
+    let m = nl.xor2(t_in, xy);
+    let c0 = nl.or2(t_in, xy);
+    (m, c0)
+}
+
+/// Builds the first-bit cell (Fig. 1c): one FA, two HAs, two ANDs.
+pub fn first_bit_cell(
+    nl: &mut Netlist,
+    style: CarryStyle,
+    t_in: SignalId,
+    x: SignalId,
+    y1: SignalId,
+    m: SignalId,
+    n1: SignalId,
+    c0_in: SignalId,
+) -> CellSignals {
+    let xy = nl.and2(x, y1);
+    let mn = nl.and2(m, n1);
+    let (s1, k1) = full_adder(nl, style, t_in, xy, mn);
+    let (t, k2) = half_adder(nl, s1, c0_in);
+    let (c0, c1) = half_adder(nl, k1, k2);
+    CellSignals { t, c0, c1 }
+}
+
+/// Builds the leftmost cell (Fig. 1d): one FA, one AND, one XOR.
+/// Returns `(t_l, t_{l+1})`.
+pub fn leftmost_cell(
+    nl: &mut Netlist,
+    style: CarryStyle,
+    t_in: SignalId,
+    x: SignalId,
+    yl: SignalId,
+    c0_in: SignalId,
+    c1_in: SignalId,
+) -> (SignalId, SignalId) {
+    let xy = nl.and2(x, yl);
+    let (t, carry) = full_adder(nl, style, t_in, xy, c0_in);
+    let t_hi = nl.xor2(carry, c1_in);
+    (t, t_hi)
+}
+
+// ------------------------------------------------------------------
+// Gate accounting (basis of the paper's §4.3 area formula).
+// ------------------------------------------------------------------
+
+/// Closed-form gate cost of one cell of each type under a carry style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCost {
+    /// XOR gates.
+    pub xor: usize,
+    /// AND gates.
+    pub and: usize,
+    /// OR gates.
+    pub or: usize,
+}
+
+impl CellCost {
+    fn from_blocks(fa: usize, ha: usize, and: usize, xor: usize, or: usize, style: CarryStyle) -> Self {
+        let AdderCost { xor: fx, and: fa_and, or: fo } = style.fa_cost();
+        let AdderCost { xor: hx, and: ha_and, or: ho } = style.ha_cost();
+        CellCost {
+            xor: fa * fx + ha * hx + xor,
+            and: fa * fa_and + ha * ha_and + and,
+            or: fa * fo + ha * ho + or,
+        }
+    }
+
+    /// Regular cell: 2 FA + 1 HA + 2 AND.
+    pub fn regular(style: CarryStyle) -> Self {
+        Self::from_blocks(2, 1, 2, 0, 0, style)
+    }
+
+    /// Rightmost cell: 1 AND + 1 XOR + 1 OR.
+    pub fn rightmost(style: CarryStyle) -> Self {
+        Self::from_blocks(0, 0, 1, 1, 1, style)
+    }
+
+    /// First-bit cell: 1 FA + 2 HA + 2 AND.
+    pub fn first_bit(style: CarryStyle) -> Self {
+        Self::from_blocks(1, 2, 2, 0, 0, style)
+    }
+
+    /// Leftmost cell: 1 FA + 1 AND + 1 XOR.
+    pub fn leftmost(style: CarryStyle) -> Self {
+        Self::from_blocks(1, 0, 1, 1, 0, style)
+    }
+
+    /// Total combinational gate cost of an `l`-bit array:
+    /// rightmost + first-bit + (l−2) regular + leftmost.
+    pub fn array_total(l: usize, style: CarryStyle) -> Self {
+        assert!(l >= 3);
+        let r = Self::rightmost(style);
+        let f = Self::first_bit(style);
+        let g = Self::regular(style);
+        let lf = Self::leftmost(style);
+        CellCost {
+            xor: r.xor + f.xor + (l - 2) * g.xor + lf.xor,
+            and: r.and + f.and + (l - 2) * g.and + lf.and,
+            or: r.or + f.or + (l - 2) * g.or + lf.or,
+        }
+    }
+
+    /// The paper's published array formula (§4.3):
+    /// `(5l−3) XOR + (7l−7) AND + (4l−5) OR`.
+    pub fn paper_formula(l: usize) -> Self {
+        CellCost {
+            xor: 5 * l - 3,
+            and: 7 * l - 7,
+            or: 4 * l - 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_hdl::{AreaReport, Simulator};
+
+    /// Checks a structural cell against its behavioral model on every
+    /// input combination.
+    fn exhaustive<FBuild, FCheck>(n_inputs: usize, build: FBuild, check: FCheck)
+    where
+        FBuild: Fn(&mut Netlist, &[SignalId]) -> Vec<SignalId>,
+        FCheck: Fn(&[bool]) -> Vec<bool>,
+    {
+        let mut nl = Netlist::new();
+        let inputs: Vec<SignalId> = (0..n_inputs)
+            .map(|i| nl.input(&format!("i{i}")))
+            .collect();
+        let outputs = build(&mut nl, &inputs);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for pattern in 0u32..(1 << n_inputs) {
+            let bits: Vec<bool> = (0..n_inputs).map(|b| (pattern >> b) & 1 == 1).collect();
+            for (sig, &v) in inputs.iter().zip(&bits) {
+                sim.set(*sig, v);
+            }
+            sim.settle();
+            let want = check(&bits);
+            let got: Vec<bool> = outputs.iter().map(|&o| sim.get(o)).collect();
+            assert_eq!(got, want, "pattern {pattern:b}");
+        }
+    }
+
+    #[test]
+    fn regular_cell_structural_equals_behavioral() {
+        for style in [CarryStyle::XorMux, CarryStyle::Majority] {
+            exhaustive(
+                7,
+                |nl, i| {
+                    let s = regular_cell(nl, style, i[0], i[1], i[2], i[3], i[4], i[5], i[6]);
+                    vec![s.t, s.c0, s.c1]
+                },
+                |b| {
+                    let (t, c0, c1) =
+                        regular_behavior(b[0], b[1], b[2], b[3], b[4], b[5], b[6]);
+                    vec![t, c0, c1]
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn rightmost_cell_structural_equals_behavioral() {
+        exhaustive(
+            3,
+            |nl, i| {
+                let (m, c0) = rightmost_cell(nl, i[0], i[1], i[2]);
+                vec![m, c0]
+            },
+            |b| {
+                let (m, c0) = rightmost_behavior(b[0], b[1], b[2]);
+                vec![m, c0]
+            },
+        );
+    }
+
+    #[test]
+    fn first_bit_cell_structural_equals_behavioral() {
+        for style in [CarryStyle::XorMux, CarryStyle::Majority] {
+            exhaustive(
+                6,
+                |nl, i| {
+                    let s = first_bit_cell(nl, style, i[0], i[1], i[2], i[3], i[4], i[5]);
+                    vec![s.t, s.c0, s.c1]
+                },
+                |b| {
+                    let (t, c0, c1) = first_bit_behavior(b[0], b[1], b[2], b[3], b[4], b[5]);
+                    vec![t, c0, c1]
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn leftmost_cell_structural_equals_behavioral_when_no_overflow() {
+        for style in [CarryStyle::XorMux, CarryStyle::Majority] {
+            let mut nl = Netlist::new();
+            let inputs: Vec<SignalId> = (0..5).map(|i| nl.input(&format!("i{i}"))).collect();
+            let (t, t_hi) =
+                leftmost_cell(&mut nl, style, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+            let mut sim = Simulator::new(&nl).unwrap();
+            for pattern in 0u32..32 {
+                let b: Vec<bool> = (0..5).map(|k| (pattern >> k) & 1 == 1).collect();
+                for (sig, &v) in inputs.iter().zip(&b) {
+                    sim.set(*sig, v);
+                }
+                sim.settle();
+                let (wt, wt_hi) = leftmost_behavior(b[0], b[1], b[2], b[3], b[4]);
+                assert_eq!(sim.get(t), wt, "t pattern {pattern:05b}");
+                assert_eq!(sim.get(t_hi), wt_hi, "t_hi pattern {pattern:05b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rightmost_t0_is_always_zero() {
+        // Eq. (6): 2·c0 + t0 = t_in + x·y0 + m, and m = t_in ⊕ x·y0
+        // forces t0 = 0 for all inputs.
+        for p in 0u8..8 {
+            let (t_in, x, y0) = (p & 1 == 1, p & 2 == 2, p & 4 == 4);
+            let (m, c0) = rightmost_behavior(t_in, x, y0);
+            let sum = t_in as u8 + (x & y0) as u8 + m as u8;
+            assert_eq!(sum & 1, 0, "t0 must be 0");
+            assert_eq!(c0 as u8, sum >> 1, "c0 is the carry of Eq. (6)");
+        }
+    }
+
+    #[test]
+    fn per_cell_gate_census_matches_closed_form() {
+        for style in [CarryStyle::XorMux, CarryStyle::Majority] {
+            // Regular.
+            let mut nl = Netlist::new();
+            let i: Vec<SignalId> = (0..7).map(|k| nl.input(&format!("i{k}"))).collect();
+            let _ = regular_cell(&mut nl, style, i[0], i[1], i[2], i[3], i[4], i[5], i[6]);
+            let a = AreaReport::of(&nl);
+            let c = CellCost::regular(style);
+            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "regular {style:?}");
+
+            // Rightmost.
+            let mut nl = Netlist::new();
+            let i: Vec<SignalId> = (0..3).map(|k| nl.input(&format!("i{k}"))).collect();
+            let _ = rightmost_cell(&mut nl, i[0], i[1], i[2]);
+            let a = AreaReport::of(&nl);
+            let c = CellCost::rightmost(style);
+            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "rightmost");
+
+            // First-bit.
+            let mut nl = Netlist::new();
+            let i: Vec<SignalId> = (0..6).map(|k| nl.input(&format!("i{k}"))).collect();
+            let _ = first_bit_cell(&mut nl, style, i[0], i[1], i[2], i[3], i[4], i[5]);
+            let a = AreaReport::of(&nl);
+            let c = CellCost::first_bit(style);
+            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "first-bit {style:?}");
+
+            // Leftmost.
+            let mut nl = Netlist::new();
+            let i: Vec<SignalId> = (0..5).map(|k| nl.input(&format!("i{k}"))).collect();
+            let _ = leftmost_cell(&mut nl, style, i[0], i[1], i[2], i[3], i[4]);
+            let a = AreaReport::of(&nl);
+            let c = CellCost::leftmost(style);
+            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "leftmost {style:?}");
+        }
+    }
+
+    #[test]
+    fn regular_cell_paper_inventory() {
+        // Fig. 1a: "two full-adders, one half-adder and two AND-gates"
+        // → in the XorMux decomposition: 5 XOR, 7 AND, 2 OR.
+        let c = CellCost::regular(CarryStyle::XorMux);
+        assert_eq!((c.xor, c.and, c.or), (5, 7, 2));
+        // Majority decomposition trades nothing but OR count.
+        let c = CellCost::regular(CarryStyle::Majority);
+        assert_eq!((c.xor, c.and, c.or), (5, 7, 4));
+    }
+
+    #[test]
+    fn array_total_leading_terms_match_paper() {
+        // The paper's formula (5l−3)XOR + (7l−7)AND + (4l−5)OR: our
+        // Majority-style census matches the leading coefficients in all
+        // three terms (the ±O(1) constants differ from edge-cell
+        // accounting; see EXPERIMENTS.md).
+        for l in [8usize, 64, 1024] {
+            let ours = CellCost::array_total(l, CarryStyle::Majority);
+            let paper = CellCost::paper_formula(l);
+            assert_eq!(ours.xor / l, paper.xor / l, "XOR ~5/bit");
+            assert_eq!(ours.and / l, paper.and / l, "AND ~7/bit");
+            assert_eq!(ours.or / l, paper.or / l, "OR ~4/bit (majority FA)");
+            assert!(ours.xor.abs_diff(paper.xor) <= 5, "l={l}");
+            assert!(ours.and.abs_diff(paper.and) <= 7, "l={l}");
+            assert!(ours.or.abs_diff(paper.or) <= 5, "l={l}");
+        }
+    }
+
+    #[test]
+    fn leftmost_overflow_predicate() {
+        assert!(leftmost_would_overflow(true, true, true, false, true));
+        assert!(!leftmost_would_overflow(true, false, false, false, true));
+    }
+}

@@ -1,0 +1,300 @@
+//! The ASM controller of Fig. 4: states IDLE → MUL1 ⇄ MUL2 → OUT, a
+//! cycle counter with end-of-count comparator, and the injection
+//! window logic.
+//!
+//! ## Faithfulness notes (resolving the paper's internal inconsistency)
+//!
+//! The paper's text says the counter increments only in MUL2 and
+//! compares against `2(l+1)`, yet separately derives a total latency of
+//! `3l+4` cycles — the two statements cannot both hold (the MUL2-only
+//! counter would give `≈ 4l+6`). We keep the *externally observable*
+//! contract — `START` to `DONE` in exactly `3l+4` cycles, states
+//! IDLE/MUL1/MUL2/OUT, X shifted in MUL2 — and let the counter
+//! increment in both MUL states with two equality comparators:
+//!
+//! * `counter == 2l+2` ends the injection window (wave `l+1` is the
+//!   last, entering at cycle `2(l+1)`);
+//! * `counter == 3l+2` is "count-end": the wavefront has drained, the
+//!   next state is OUT where `DONE` is asserted.
+//!
+//! Control cost: 2 state FFs + a `⌈log₂(3l+3)⌉`-bit counter + 1
+//! injection FF + 2 comparators — the same `O(log l)` control the paper
+//! reports (`log₂(l+2)+2` bits).
+
+use mmm_hdl::adders::{equals_const, incrementer_fast};
+use mmm_hdl::{Bus, Netlist, SignalId};
+
+/// Width of the cycle counter for a given `l`: must hold `3l+2`.
+pub fn counter_width(l: usize) -> usize {
+    let max = 3 * l + 2;
+    (usize::BITS - max.leading_zeros()) as usize
+}
+
+/// The controller's output signals, wired into the datapath.
+#[derive(Debug, Clone)]
+pub struct ControllerSignals {
+    /// High for exactly one cycle: load X/Y/N, clear the array.
+    pub load: SignalId,
+    /// High in MUL1 (the injection-phase indicator; SharedPair
+    /// pipelines use it as their clock enable).
+    pub mul1: SignalId,
+    /// High in MUL2: shift the X register right.
+    pub shift_x: SignalId,
+    /// Wave-valid: high in MUL1 while the injection window is open.
+    pub valid: SignalId,
+    /// High in OUT: result available on RESULT.
+    pub done: SignalId,
+    /// State bits `(s1, s0)`: IDLE=00, MUL1=01, MUL2=10, OUT=11.
+    pub state: (SignalId, SignalId),
+    /// The cycle counter value (diagnostic).
+    pub counter: Bus,
+}
+
+/// Builds the ASM controller into `nl`. `start` is the external START
+/// command input.
+pub fn build_into(nl: &mut Netlist, l: usize, start: SignalId) -> ControllerSignals {
+    let w = counter_width(l);
+
+    // State register, IDLE = 00 at reset.
+    let s0_ff = nl.dff_placeholder(false);
+    let s1_ff = nl.dff_placeholder(false);
+    let s0 = s0_ff.q();
+    let s1 = s1_ff.q();
+    nl.name(s0, "state0");
+    nl.name(s1, "state1");
+
+    let ns0 = nl.not1(s0);
+    let ns1 = nl.not1(s1);
+    let is_idle = nl.and2(ns1, ns0);
+    let is_mul1 = nl.and2(ns1, s0);
+    let is_mul2 = nl.and2(s1, ns0);
+    let is_out = nl.and2(s1, s0);
+    nl.name(is_idle, "IDLE");
+    nl.name(is_mul1, "MUL1");
+    nl.name(is_mul2, "MUL2");
+    nl.name(is_out, "OUT");
+
+    let load = nl.and2(is_idle, start);
+    nl.name(load, "load");
+
+    // Counter: increments in MUL1/MUL2, synchronously cleared on load.
+    // The log-depth incrementer models the slice carry chain, keeping
+    // the control off the critical path (the paper's claim that the
+    // regular cell sets the clock period).
+    let counter_ffs: Vec<_> = (0..w).map(|_| nl.dff_placeholder(false)).collect();
+    let counter = Bus(counter_ffs.iter().map(|h| h.q()).collect());
+    let (inc, _carry) = incrementer_fast(nl, &counter);
+    let in_mul = nl.or2(is_mul1, is_mul2);
+    for (i, h) in counter_ffs.iter().enumerate() {
+        nl.connect_dff(*h, inc.bit(i));
+        nl.set_dff_enable(*h, in_mul);
+        nl.set_dff_clear(*h, load);
+    }
+
+    // Comparators are *retimed*: they compare against the target minus
+    // one and register the hit, so the (log-depth) comparison feeds
+    // only a flip-flop and the registered flag is what the next-state
+    // logic reads. The flag is high exactly during the target cycle.
+    //
+    // Injection window: set on load, cleared after counter hits 2l+2.
+    let eq_inject_pre = equals_const(nl, &counter, (2 * l + 1) as u64);
+    let eq_inject_end = nl.dff(eq_inject_pre, false);
+    nl.name(eq_inject_end, "inject_end");
+    let inject_ff = nl.dff_placeholder(false);
+    let keep = nl.not1(eq_inject_end);
+    let hold = nl.and2(inject_ff.q(), keep);
+    let inject_next = nl.or2(load, hold);
+    nl.connect_dff(inject_ff, inject_next);
+    nl.name(inject_ff.q(), "inject_active");
+
+    // Count-end: the drain is complete at counter == 3l+2.
+    let eq_count_pre = equals_const(nl, &counter, (3 * l + 1) as u64);
+    let eq_count_end = nl.dff(eq_count_pre, false);
+    nl.name(eq_count_end, "count_end");
+
+    // Next-state logic (see module docs for the derivation):
+    //   n0 = IDLE·start + MUL2 + MUL1·count_end
+    //   n1 = MUL1 + MUL2·count_end
+    let t_m1_end = nl.and2(is_mul1, eq_count_end);
+    let t_idle_go = load;
+    let n0_a = nl.or2(t_idle_go, is_mul2);
+    let n0 = nl.or2(n0_a, t_m1_end);
+    let t_m2_end = nl.and2(is_mul2, eq_count_end);
+    let n1 = nl.or2(is_mul1, t_m2_end);
+    nl.connect_dff(s0_ff, n0);
+    nl.connect_dff(s1_ff, n1);
+
+    let valid = nl.and2(is_mul1, inject_ff.q());
+    nl.name(valid, "valid");
+
+    ControllerSignals {
+        load,
+        mul1: is_mul1,
+        shift_x: is_mul2,
+        valid,
+        done: is_out,
+        state: (s1, s0),
+        counter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_hdl::Simulator;
+
+    struct Harness {
+        nl: Netlist,
+        start: SignalId,
+        sig: ControllerSignals,
+    }
+
+    fn build(l: usize) -> Harness {
+        let mut nl = Netlist::new();
+        let start = nl.input("start");
+        let sig = build_into(&mut nl, l, start);
+        nl.expose_output("done", sig.done);
+        Harness { nl, start, sig }
+    }
+
+    #[test]
+    fn counter_width_examples() {
+        assert_eq!(counter_width(3), 4); // 3*3+2 = 11 -> 4 bits
+        assert_eq!(counter_width(32), 7); // 98 -> 7 bits
+        assert_eq!(counter_width(1024), 12); // 3074 -> 12 bits
+    }
+
+    #[test]
+    fn stays_idle_without_start() {
+        let h = build(4);
+        let mut sim = Simulator::new(&h.nl).unwrap();
+        for _ in 0..10 {
+            sim.settle();
+            assert!(!sim.get(h.sig.done));
+            assert!(!sim.get(h.sig.valid));
+            assert!(!sim.get(h.sig.shift_x));
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn full_run_takes_exactly_3l_plus_4_cycles() {
+        for l in [3usize, 4, 8, 16, 31, 32] {
+            let h = build(l);
+            let mut sim = Simulator::new(&h.nl).unwrap();
+            sim.set(h.start, true);
+            sim.step(); // load cycle
+            sim.set(h.start, false);
+            let mut cycles = 1u64;
+            loop {
+                sim.settle();
+                if sim.get(h.sig.done) {
+                    break;
+                }
+                sim.step();
+                cycles += 1;
+                assert!(cycles < 10 * l as u64 + 100, "runaway l={l}");
+            }
+            assert_eq!(cycles, (3 * l + 4) as u64, "l={l}");
+        }
+    }
+
+    #[test]
+    fn valid_pulses_match_injection_schedule() {
+        // valid must be high exactly on cycles τ = 0,2,4,…,2(l+1)
+        // after load (l+2 pulses), in MUL1 states.
+        let l = 5;
+        let h = build(l);
+        let mut sim = Simulator::new(&h.nl).unwrap();
+        sim.set(h.start, true);
+        sim.step();
+        sim.set(h.start, false);
+        let mut valid_pattern = Vec::new();
+        for _ in 0..=(3 * l + 2) {
+            sim.settle();
+            valid_pattern.push(sim.get(h.sig.valid));
+            sim.step();
+        }
+        let expect: Vec<bool> = (0..=(3 * l + 2))
+            .map(|tau| tau % 2 == 0 && tau / 2 <= l + 1)
+            .collect();
+        assert_eq!(valid_pattern, expect);
+    }
+
+    #[test]
+    fn shift_x_happens_every_mul2() {
+        let l = 4;
+        let h = build(l);
+        let mut sim = Simulator::new(&h.nl).unwrap();
+        sim.set(h.start, true);
+        sim.step();
+        sim.set(h.start, false);
+        for tau in 0..=(3 * l + 2) {
+            sim.settle();
+            assert_eq!(sim.get(h.sig.shift_x), tau % 2 == 1, "tau={tau}");
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn returns_to_idle_and_restarts() {
+        let l = 3;
+        let h = build(l);
+        let mut sim = Simulator::new(&h.nl).unwrap();
+        for round in 0..3 {
+            sim.set(h.start, true);
+            sim.step();
+            sim.set(h.start, false);
+            let mut cycles = 1u64;
+            loop {
+                sim.settle();
+                if sim.get(h.sig.done) {
+                    break;
+                }
+                sim.step();
+                cycles += 1;
+            }
+            assert_eq!(cycles, (3 * l + 4) as u64, "round={round}");
+            sim.step(); // OUT -> IDLE
+            sim.settle();
+            assert!(!sim.get(h.sig.done), "back in IDLE");
+        }
+    }
+
+    #[test]
+    fn done_is_a_single_cycle_pulse() {
+        let l = 4;
+        let h = build(l);
+        let mut sim = Simulator::new(&h.nl).unwrap();
+        sim.set(h.start, true);
+        sim.step();
+        sim.set(h.start, false);
+        let mut done_count = 0;
+        for _ in 0..(3 * l + 20) {
+            sim.settle();
+            if sim.get(h.sig.done) {
+                done_count += 1;
+            }
+            sim.step();
+        }
+        assert_eq!(done_count, 1, "DONE must pulse exactly once");
+    }
+
+    #[test]
+    fn control_cost_is_logarithmic() {
+        // 2 state FFs + w counter FFs + 1 inject FF; gates O(w).
+        for l in [8usize, 64, 512] {
+            let h = build(l);
+            let area = mmm_hdl::AreaReport::of(&h.nl);
+            let w = counter_width(l);
+            // 2 state FFs + w counter FFs + inject FF + 2 retimed
+            // comparator flags.
+            assert_eq!(area.dff, 2 + w + 1 + 2, "l={l}");
+            assert!(
+                area.total_gates() <= w * w + 14 * w + 40,
+                "control logic must stay small: {} gates at l={l}",
+                area.total_gates()
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's closed-form cycle/time cost model (§4.4–4.5):
+//!
+//! * one Montgomery multiplication: `3l + 4` cycles;
+//! * exponentiation pre-computation (map into the Montgomery domain):
+//!   `2(2(l+2)+1) + l = 5l + 10` cycles;
+//! * post-processing (multiply by 1 to leave the domain): `l + 2`
+//!   cycles;
+//! * Eq. (10): `3l² + 10l + 12 ≤ T_modexp ≤ 6l² + 14l + 12`;
+//! * Table 1 average (balanced-Hamming-weight exponent, 1.5·l
+//!   multiplications): `4.5l² + 12l + 12` cycles.
+//!
+//! The measured engines cross-check the multiplication term; the
+//! pre/post terms are the paper's accounting and are reproduced as
+//! given (our simulated pre/post use full multiplications — see
+//! EXPERIMENTS.md for the reconciliation).
+
+use mmm_bigint::Ubig;
+
+/// Cycles for one Montgomery multiplication on the MMMC: `3l + 4`.
+pub fn mmm_cycles(l: usize) -> u64 {
+    (3 * l + 4) as u64
+}
+
+/// Paper's pre-computation cost: `5l + 10` cycles.
+pub fn precompute_cycles(l: usize) -> u64 {
+    (5 * l + 10) as u64
+}
+
+/// Paper's post-processing cost: `l + 2` cycles.
+pub fn postprocess_cycles(l: usize) -> u64 {
+    (l + 2) as u64
+}
+
+/// Eq. (10) bounds on a complete modular exponentiation:
+/// `(3l² + 10l + 12, 6l² + 14l + 12)`.
+pub fn modexp_bounds(l: usize) -> (u64, u64) {
+    let l = l as u64;
+    (3 * l * l + 10 * l + 12, 6 * l * l + 14 * l + 12)
+}
+
+/// Table 1's average exponentiation cost in cycles:
+/// `4.5l² + 12l + 12` (an `l`-bit exponent with balanced Hamming
+/// weight does `1.5l` multiplications on average).
+pub fn modexp_avg_cycles(l: usize) -> f64 {
+    let lf = l as f64;
+    4.5 * lf * lf + 12.0 * lf + 12.0
+}
+
+/// Exact cycle count of Algorithm 3 for a specific exponent, using the
+/// paper's accounting: pre + (squares + multiplies)·(3l+4) + post.
+///
+/// For exponent `e` with `t` significant bits: `t − 1` squarings and
+/// `HW(e) − 1` multiplications.
+pub fn modexp_cycles_for_exponent(l: usize, e: &Ubig) -> u64 {
+    assert!(!e.is_zero(), "Algorithm 3 requires e ≥ 1");
+    let t = e.bit_len() as u64;
+    let hw = (0..e.bit_len()).filter(|&i| e.bit(i)).count() as u64;
+    let mults = (t - 1) + (hw - 1);
+    precompute_cycles(l) + mults * mmm_cycles(l) + postprocess_cycles(l)
+}
+
+/// Number of square-and-multiply multiplications for exponent `e`
+/// (squares + conditional multiplies), as scanned by Algorithm 3.
+pub fn multiplication_count(e: &Ubig) -> u64 {
+    if e.is_zero() {
+        return 0;
+    }
+    let t = e.bit_len() as u64;
+    let hw = (0..e.bit_len()).filter(|&i| e.bit(i)).count() as u64;
+    (t - 1) + (hw - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_tmmm_examples() {
+        // Table 2 is TMMM = (3l+4)·Tp; check the cycle factor at the
+        // published bit lengths.
+        assert_eq!(mmm_cycles(32), 100);
+        assert_eq!(mmm_cycles(64), 196);
+        assert_eq!(mmm_cycles(128), 388);
+        assert_eq!(mmm_cycles(256), 772);
+        assert_eq!(mmm_cycles(512), 1540);
+        assert_eq!(mmm_cycles(1024), 3076);
+    }
+
+    #[test]
+    fn eq10_bound_derivation() {
+        // Lower bound = pre + l·(3l+4) + post; upper = pre + 2l·(3l+4) + post.
+        for l in [32usize, 128, 1024] {
+            let (lo, hi) = modexp_bounds(l);
+            let l64 = l as u64;
+            assert_eq!(
+                lo,
+                precompute_cycles(l) + l64 * mmm_cycles(l) + postprocess_cycles(l)
+            );
+            assert_eq!(
+                hi,
+                precompute_cycles(l) + 2 * l64 * mmm_cycles(l) + postprocess_cycles(l)
+            );
+        }
+    }
+
+    #[test]
+    fn average_is_midway_in_mult_term() {
+        // avg = pre + 1.5l·(3l+4) + post = 4.5l² + 12l + 12.
+        for l in [32usize, 256, 1024] {
+            let exact = precompute_cycles(l) as f64
+                + 1.5 * l as f64 * mmm_cycles(l) as f64
+                + postprocess_cycles(l) as f64;
+            assert_eq!(modexp_avg_cycles(l), exact);
+        }
+    }
+
+    #[test]
+    fn table1_values_reproduce_with_paper_clock_periods() {
+        // Table 1: (l, Tp ns, Tmod-exp ms). Using the paper's own Tp,
+        // the average formula lands on the published times.
+        let rows = [
+            (32usize, 9.256_f64, 0.046_f64),
+            (128, 10.242, 0.775),
+            (256, 9.956, 2.974),
+            (512, 10.501, 12.468),
+            (1024, 10.458, 49.508),
+        ];
+        for (l, tp_ns, t_ms) in rows {
+            let ms = modexp_avg_cycles(l) * tp_ns * 1e-6;
+            let rel = (ms - t_ms).abs() / t_ms;
+            assert!(
+                rel < 0.01,
+                "l={l}: model {ms:.3} ms vs paper {t_ms} ms ({:.2}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_specific_cycles_within_bounds() {
+        for l in [16usize, 64] {
+            let (lo, hi) = modexp_bounds(l);
+            // All-ones l-bit exponent: 2l−2 mults — just inside.
+            let all_ones = Ubig::pow2(l) - Ubig::one();
+            let c = modexp_cycles_for_exponent(l, &all_ones);
+            assert!(c <= hi, "l={l} all-ones");
+            // Single top bit: l−1 mults.
+            let single = Ubig::pow2(l - 1);
+            let c = modexp_cycles_for_exponent(l, &single);
+            assert!(c <= hi && c >= lo.saturating_sub(2 * mmm_cycles(l)), "l={l} single");
+        }
+    }
+
+    #[test]
+    fn multiplication_count_examples() {
+        assert_eq!(multiplication_count(&Ubig::one()), 0);
+        assert_eq!(multiplication_count(&Ubig::from(0b10u64)), 1); // 1 square
+        assert_eq!(multiplication_count(&Ubig::from(0b11u64)), 2); // sq + mult
+        assert_eq!(multiplication_count(&Ubig::from(0b1111u64)), 6);
+        assert_eq!(multiplication_count(&Ubig::zero()), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # mmm-core — the systolic Montgomery multiplier of Örs et al.
+//!
+//! This crate implements the paper's contribution at every level of the
+//! design hierarchy it describes (§4.1):
+//!
+//! 1. **Systolic array cell** ([`cells`]) — the four cell types of
+//!    Fig. 1 (regular, rightmost, 1st-bit, leftmost), each provided
+//!    both as a behavioral truth function and as a structural netlist
+//!    builder, with exhaustive equivalence tests between the two.
+//! 2. **Systolic array** ([`mod@array`]) — the linear pipelined array of
+//!    Fig. 2, plus [`wave`], a fast behavioral model of the same
+//!    cycle-by-cycle wave schedule used for large bit lengths.
+//! 3. **Montgomery Modular Multiplication Circuit** ([`mmmc`]) — the
+//!    complete circuit of Fig. 3 driven by the ASM controller of
+//!    Fig. 4 ([`controller`]).
+//! 4. **Modular exponentiator** ([`expo`]) — Algorithm 3
+//!    (square-and-multiply) over any engine implementing
+//!    [`traits::MontMul`].
+//!
+//! [`montgomery`] holds the word-independent reference algorithms
+//! (Algorithm 1 with final subtraction and Algorithm 2 without), and
+//! [`cost`] the paper's closed-form cycle/time model (`3l+4` cycles per
+//! multiplication, Eq. 10 exponentiation bounds, the Table-1 average).
+//!
+//! ## The drain-phase resolution
+//!
+//! The paper leaves the end of a multiplication under-specified: after
+//! the last real iteration the array would keep launching junk waves
+//! (`m_i` is *derived* from T feedback, never forced) that overwrite
+//! the low bits of the result before the high bits arrive. This
+//! implementation resolves that with a **valid-bit pipeline**: a 1-bit
+//! wave-valid flag travels with `x_i`/`m_i` and gates each T-register
+//! bit's write enable, so exactly the `l+2` real waves write T and the
+//! total latency stays the paper's `3l+4` cycles. See `DESIGN.md` §1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cells;
+pub mod controller;
+pub mod cost;
+pub mod expo;
+pub mod expo_window;
+pub mod mmmc;
+pub mod modgen;
+pub mod montgomery;
+pub mod traits;
+pub mod wave;
+pub mod wave_packed;
+
+pub use expo::ModExp;
+pub use mmmc::Mmmc;
+pub use montgomery::MontgomeryParams;
+pub use traits::MontMul;
+pub use wave::WaveMmmc;
+pub use wave_packed::PackedMmmc;

@@ -1,0 +1,108 @@
+//! Random modulus/operand generation helpers shared by tests, examples
+//! and the benchmark harness.
+
+use crate::montgomery::MontgomeryParams;
+use mmm_bigint::Ubig;
+use rand::Rng;
+
+/// A random odd modulus with exactly `bits` significant bits.
+pub fn random_odd_modulus<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Ubig {
+    assert!(bits >= 2);
+    let mut n = Ubig::random_exact_bits(rng, bits);
+    n.set_bit(0, true);
+    if n < Ubig::from(3u64) {
+        Ubig::from(3u64)
+    } else {
+        n
+    }
+}
+
+/// Random parameters that are **hardware-safe at exactly width `l`**:
+/// the modulus is odd, has `l` significant bits when possible, and
+/// satisfies `3N − 1 ≤ 2^{l+1}` so the paper-faithful array never
+/// drops the leftmost carry (see
+/// [`MontgomeryParams::is_hardware_safe`]).
+pub fn random_safe_params<R: Rng + ?Sized>(rng: &mut R, l: usize) -> MontgomeryParams {
+    assert!(l >= 3);
+    let hi = MontgomeryParams::max_safe_modulus(l);
+    // Sample in the top half of the safe range so the modulus has full
+    // bit length (≈ [⅓·2^l, ⅔·2^l] all have exactly l bits).
+    let lo = Ubig::pow2(l - 1).add_ref(&Ubig::one());
+    let lo = if lo >= hi { Ubig::from(3u64) } else { lo };
+    let hi_incl = &hi + &Ubig::one();
+    let mut n = Ubig::random_range(rng, &lo, &hi_incl);
+    n.set_bit(0, true);
+    if n > hi {
+        n = hi.clone();
+    }
+    let p = MontgomeryParams::new(&n, l);
+    debug_assert!(p.is_hardware_safe());
+    p
+}
+
+/// A random Algorithm-2 operand for `p`: uniform in `[0, 2N)`.
+pub fn random_operand<R: Rng + ?Sized>(rng: &mut R, p: &MontgomeryParams) -> Ubig {
+    Ubig::random_below(rng, &p.two_n())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn safe_params_are_safe_and_full_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for l in [3usize, 8, 16, 64, 128] {
+            for _ in 0..10 {
+                let p = random_safe_params(&mut rng, l);
+                assert_eq!(p.l(), l);
+                assert!(p.is_hardware_safe(), "l={l}");
+                assert!(p.n().is_odd());
+                if l >= 5 {
+                    assert_eq!(p.n().bit_len(), l, "full width at l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_safe_modulus_boundary() {
+        // N = max_safe is safe; next odd value is not.
+        for l in [4usize, 8, 16, 31] {
+            let n = MontgomeryParams::max_safe_modulus(l);
+            assert!(MontgomeryParams::new(&n, l).is_hardware_safe(), "l={l}");
+            let next = &n + &Ubig::from(2u64);
+            if next.bit_len() <= l {
+                assert!(
+                    !MontgomeryParams::new(&next, l).is_hardware_safe(),
+                    "l={l}: boundary must be tight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_hardware_width_is_at_most_one_extra() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [4usize, 8, 32, 100] {
+            for _ in 0..10 {
+                let n = random_odd_modulus(&mut rng, bits);
+                let l = MontgomeryParams::min_hardware_width(&n);
+                assert!(l == bits || l == bits + 1);
+                assert!(MontgomeryParams::hardware_safe(&n).is_hardware_safe());
+            }
+        }
+    }
+
+    #[test]
+    fn operands_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_safe_params(&mut rng, 8);
+        for _ in 0..50 {
+            let v = random_operand(&mut rng, &p);
+            assert!(p.check_operand(&v));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Reference (software) radix-2 Montgomery multiplication: the paper's
+//! Algorithm 1 (with final subtraction) and Algorithm 2 (without),
+//! together with the parameter bookkeeping around Walter's bound
+//! `4N < R = 2^{l+2}`.
+
+use mmm_bigint::Ubig;
+
+/// Fixed parameters of a radix-2 Montgomery multiplication instance:
+/// the modulus `N` and the circuit width `l` (number of modulus bits
+/// the datapath is sized for).
+///
+/// Invariants enforced at construction:
+/// * `N` odd, `N ≥ 3`;
+/// * `N < 2^l` (so `R = 2^{l+2} > 4N` — Walter's bound, §2);
+/// * `l ≥ 3` (the array needs at least one regular cell).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontgomeryParams {
+    n: Ubig,
+    l: usize,
+}
+
+impl MontgomeryParams {
+    /// Creates parameters for modulus `n` and width `l`.
+    ///
+    /// # Panics
+    /// Panics if the invariants documented on the type are violated.
+    pub fn new(n: &Ubig, l: usize) -> Self {
+        assert!(l >= 3, "width l must be at least 3 (got {l})");
+        assert!(n.is_odd(), "N must be odd");
+        assert!(*n >= Ubig::from(3u64), "N must be at least 3");
+        assert!(
+            n.bit_len() <= l,
+            "N has {} bits but the datapath width is l={}",
+            n.bit_len(),
+            l
+        );
+        MontgomeryParams { n: n.clone(), l }
+    }
+
+    /// Parameters with the tightest width: `l = bitlen(N)`.
+    pub fn tight(n: &Ubig) -> Self {
+        Self::new(n, n.bit_len().max(3))
+    }
+
+    /// Parameters at the smallest width that is **hardware-safe** for
+    /// this modulus (see [`MontgomeryParams::is_hardware_safe`]).
+    pub fn hardware_safe(n: &Ubig) -> Self {
+        Self::new(n, Self::min_hardware_width(n))
+    }
+
+    /// Smallest datapath width `l` at which the systolic array cannot
+    /// lose the leftmost carry for modulus `n`: `bitlen(n) ≤ l` and
+    /// `3n − 1 ≤ 2^{l+1}` (at most `bitlen(n) + 1`).
+    pub fn min_hardware_width(n: &Ubig) -> usize {
+        let b = n.bit_len().max(3);
+        let limit = (&Ubig::from(3u64) * n) - Ubig::one();
+        if limit <= Ubig::pow2(b + 1) {
+            b
+        } else {
+            b + 1
+        }
+    }
+
+    /// True when the array/MMMC engines can run this modulus at this
+    /// width without the leftmost cell ever dropping a carry.
+    ///
+    /// **Paper erratum.** Intermediate values of Algorithm 2 satisfy
+    /// only `T_i < Y + N ≤ 3N − 1`, not `T_i < 2N`; the hardware stores
+    /// `U_i = 2·T_i` in `l+2` digit positions, so any `T_i ≥ 2^{l+1}`
+    /// overflows the Fig. 1(d) leftmost cell's XOR (Eq. 9's left side
+    /// maxes at 3 while its right side can reach 5). Overflow is
+    /// reachable whenever `3N − 1 > 2^{l+1}`, i.e. `N ≳ ⅔·2^l` —
+    /// verified by exhaustive search at small widths. Running such a
+    /// modulus one width wider (`l+1`) removes the problem entirely,
+    /// at a cost of 3 cycles and one cell. Software Algorithm 2 is
+    /// unaffected.
+    pub fn is_hardware_safe(&self) -> bool {
+        let limit = (&Ubig::from(3u64) * &self.n) - Ubig::one();
+        limit <= Ubig::pow2(self.l + 1)
+    }
+
+    /// The largest odd modulus that is hardware-safe at width `l`
+    /// (useful for paper-faithful experiments at the published widths).
+    pub fn max_safe_modulus(l: usize) -> Ubig {
+        // Largest N with 3N − 1 ≤ 2^{l+1}: N = ⌊(2^{l+1} + 1)/3⌋,
+        // stepped down to odd.
+        let (q, _) = (Ubig::pow2(l + 1) + Ubig::one()).divrem(&Ubig::from(3u64));
+        if q.is_even() {
+            q - Ubig::one()
+        } else {
+            q
+        }
+    }
+
+    /// The modulus `N`.
+    pub fn n(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// The datapath width `l`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// The Montgomery radix `R = 2^{l+2}` (Walter-optimal; the paper's
+    /// improvement over Blum–Paar's `2^{l+3}`).
+    pub fn r(&self) -> Ubig {
+        Ubig::pow2(self.l + 2)
+    }
+
+    /// `R mod N` — the Montgomery representation of 1.
+    pub fn r_mod_n(&self) -> Ubig {
+        self.r().rem(&self.n)
+    }
+
+    /// `R² mod N` — the constant fed to the pre-computation
+    /// multiplication that maps an operand into the Montgomery domain.
+    pub fn r2_mod_n(&self) -> Ubig {
+        let r = self.r();
+        (&r * &r).rem(&self.n)
+    }
+
+    /// `2N` — the operand bound of Algorithm 2.
+    pub fn two_n(&self) -> Ubig {
+        self.n.shl_bits(1)
+    }
+
+    /// Checks the operand precondition of Algorithm 2: `v < 2N`.
+    pub fn check_operand(&self, v: &Ubig) -> bool {
+        *v < self.two_n()
+    }
+}
+
+/// Algorithm 1: Montgomery modular multiplication **with** final
+/// subtraction. `R = 2^l`, requires `x, y ∈ [0, N−1]`; returns
+/// `x·y·2^{−l} mod N`, fully reduced (`< N`).
+///
+/// This is the classical formulation the paper departs from; it is kept
+/// as a baseline and oracle.
+pub fn mont_mul_alg1(params: &MontgomeryParams, x: &Ubig, y: &Ubig) -> Ubig {
+    let n = params.n();
+    let l = params.l();
+    assert!(x < n && y < n, "Algorithm 1 requires x, y < N");
+    let mut t = Ubig::zero();
+    for i in 0..l {
+        // m_i = (t_0 + x_i·y_0) mod 2   (N' = 1 in radix 2, §3)
+        let xi = x.bit(i);
+        let m = t.bit(0) ^ (xi & y.bit(0));
+        if xi {
+            t = &t + y;
+        }
+        if m {
+            t = &t + n;
+        }
+        debug_assert!(!t.bit(0), "sum must be even before halving");
+        t = t.shr_bits(1);
+    }
+    // Step 6–8: conditional final subtraction.
+    if &t >= n {
+        t = t - n;
+    }
+    t
+}
+
+/// Algorithm 2: Montgomery modular multiplication **without** final
+/// subtraction. `R = 2^{l+2}`, requires `x, y ∈ [0, 2N−1]`; returns
+/// `T ≡ x·y·2^{−(l+2)} (mod N)` with `T < 2N`.
+///
+/// This is the recurrence the systolic array implements; every hardware
+/// engine in this workspace is validated against it.
+pub fn mont_mul_alg2(params: &MontgomeryParams, x: &Ubig, y: &Ubig) -> Ubig {
+    let n = params.n();
+    let l = params.l();
+    assert!(
+        params.check_operand(x) && params.check_operand(y),
+        "Algorithm 2 requires x, y < 2N"
+    );
+    let mut t = Ubig::zero();
+    for i in 0..=(l + 1) {
+        let xi = x.bit(i);
+        let m = t.bit(0) ^ (xi & y.bit(0));
+        if xi {
+            t = &t + y;
+        }
+        if m {
+            t = &t + n;
+        }
+        debug_assert!(!t.bit(0), "sum must be even before halving");
+        t = t.shr_bits(1);
+    }
+    debug_assert!(
+        params.check_operand(&t),
+        "Walter bound violated: T >= 2N"
+    );
+    t
+}
+
+/// The mathematical specification `x·y·R⁻¹ mod N` computed directly
+/// with a modular inverse — the ground truth both algorithms are tested
+/// against.
+pub fn mont_spec(params: &MontgomeryParams, x: &Ubig, y: &Ubig, r: &Ubig) -> Ubig {
+    let n = params.n();
+    let r_inv = r.rem(n).modinv(n).expect("gcd(R, N) = 1 since N is odd");
+    (x * y).modmul(&r_inv, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(n: u64, l: usize) -> MontgomeryParams {
+        MontgomeryParams::new(&Ubig::from(n), l)
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_modulus() {
+        params(100, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "datapath width")]
+    fn rejects_narrow_width() {
+        params(257, 8);
+    }
+
+    #[test]
+    fn walter_bound_holds_by_construction() {
+        let p = params(255, 8);
+        // R = 2^10 = 1024 > 4·255 = 1020.
+        assert!(p.r() > &Ubig::from(4u64) * p.n());
+    }
+
+    #[test]
+    fn alg1_matches_spec_exhaustive_small() {
+        // N = 13, l = 4, R = 2^4: check every x, y < N.
+        let p = params(13, 4);
+        let r = Ubig::pow2(4);
+        for x in 0u64..13 {
+            for y in 0u64..13 {
+                let got = mont_mul_alg1(&p, &Ubig::from(x), &Ubig::from(y));
+                let want = mont_spec(&p, &Ubig::from(x), &Ubig::from(y), &r);
+                assert_eq!(got, want, "x={x} y={y}");
+                assert!(got < *p.n(), "Alg 1 output fully reduced");
+            }
+        }
+    }
+
+    #[test]
+    fn alg2_matches_spec_exhaustive_small() {
+        // N = 13, l = 4, R = 2^6: check every x, y < 2N.
+        let p = params(13, 4);
+        let r = p.r();
+        let n = Ubig::from(13u64);
+        for x in 0u64..26 {
+            for y in 0u64..26 {
+                let got = mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y));
+                let want = mont_spec(&p, &Ubig::from(x), &Ubig::from(y), &r);
+                assert_eq!(got.rem(&n), want, "x={x} y={y}");
+                assert!(got < p.two_n(), "Walter bound x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn alg2_output_feeds_back_without_reduction() {
+        // The whole point of the bound: outputs are valid inputs.
+        let p = params(0xFFFF_FFFB, 32); // 2^32 - 5 (odd, fits 32 bits)
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = Ubig::random_below(&mut rng, &p.two_n());
+        for _ in 0..50 {
+            t = mont_mul_alg2(&p, &t, &t);
+            assert!(p.check_operand(&t));
+        }
+    }
+
+    #[test]
+    fn alg2_random_widths_match_spec() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for l in [3usize, 5, 8, 16, 33, 64, 100] {
+            let mut n = Ubig::random_exact_bits(&mut rng, l);
+            n.set_bit(0, true);
+            if n < Ubig::from(3u64) {
+                n = Ubig::from(5u64);
+            }
+            let p = MontgomeryParams::new(&n, l);
+            let r = p.r();
+            for _ in 0..10 {
+                let x = Ubig::random_below(&mut rng, &p.two_n());
+                let y = Ubig::random_below(&mut rng, &p.two_n());
+                let got = mont_mul_alg2(&p, &x, &y);
+                assert_eq!(got.rem(&n), mont_spec(&p, &x, &y, &r), "l={l}");
+                assert!(got < p.two_n());
+            }
+        }
+    }
+
+    #[test]
+    fn alg1_alg2_agree_modulo_n_after_domain_shift() {
+        // Alg1 uses R1 = 2^l; Alg2 uses R2 = 2^{l+2} = 4·R1, so
+        // Alg2(x,y) ≡ Alg1(x,y) · 4^{-1}  (mod N).
+        let p = params(101, 7);
+        let n = p.n().clone();
+        let inv4 = Ubig::from(4u64).modinv(&n).unwrap();
+        for (x, y) in [(5u64, 7u64), (100, 100), (0, 55), (1, 1)] {
+            let a1 = mont_mul_alg1(&p, &Ubig::from(x), &Ubig::from(y));
+            let a2 = mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y));
+            assert_eq!(a2.rem(&n), a1.modmul(&inv4, &n), "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn r2_and_r_mod_n_consistent() {
+        let p = params(239, 8);
+        let n = p.n();
+        assert_eq!(p.r_mod_n(), p.r().rem(n));
+        assert_eq!(p.r2_mod_n(), (&p.r() * &p.r()).rem(n));
+        // Mont(1, R^2) = R mod N.
+        let got = mont_mul_alg2(&p, &Ubig::one(), &p.r2_mod_n());
+        assert_eq!(got.rem(n), p.r_mod_n());
+    }
+
+    #[test]
+    fn tight_width_is_bitlen() {
+        let p = MontgomeryParams::tight(&Ubig::from(1000003u64));
+        assert_eq!(p.l(), 20);
+    }
+}

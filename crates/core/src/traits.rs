@@ -1,0 +1,82 @@
+//! The [`MontMul`] abstraction: one interface over every Montgomery
+//! multiplication engine in the workspace (software Algorithm 2, the
+//! fast wave model, the gate-level MMMC, and the baselines), so the
+//! exponentiator, RSA and ECC layers are engine-agnostic.
+
+use crate::montgomery::{mont_mul_alg2, MontgomeryParams};
+use mmm_bigint::Ubig;
+
+/// A Montgomery multiplication engine with the paper's contract:
+/// `mont_mul(x, y) ≡ x·y·R⁻¹ (mod N)` with `R = 2^{l+2}`, operands and
+/// result bounded by `2N`.
+pub trait MontMul {
+    /// The engine's fixed parameters (modulus and width).
+    fn params(&self) -> &MontgomeryParams;
+
+    /// One Montgomery multiplication.
+    fn mont_mul(&mut self, x: &Ubig, y: &Ubig) -> Ubig;
+
+    /// Total simulated clock cycles consumed so far, if this engine is
+    /// cycle-accurate (`None` for pure software references).
+    fn consumed_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// Engine name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// The software reference engine: Algorithm 2 executed on [`Ubig`]s.
+/// Not cycle-accurate; used as the oracle and as the fast path for
+/// RSA/ECC when hardware fidelity is not needed.
+#[derive(Debug, Clone)]
+pub struct SoftwareEngine {
+    params: MontgomeryParams,
+}
+
+impl SoftwareEngine {
+    /// Creates the engine.
+    pub fn new(params: MontgomeryParams) -> Self {
+        SoftwareEngine { params }
+    }
+}
+
+impl MontMul for SoftwareEngine {
+    fn params(&self) -> &MontgomeryParams {
+        &self.params
+    }
+
+    fn mont_mul(&mut self, x: &Ubig, y: &Ubig) -> Ubig {
+        mont_mul_alg2(&self.params, x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "software Algorithm 2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_engine_is_not_cycle_accurate() {
+        let p = MontgomeryParams::new(&Ubig::from(13u64), 4);
+        let e = SoftwareEngine::new(p);
+        assert_eq!(e.consumed_cycles(), None);
+        assert_eq!(e.name(), "software Algorithm 2");
+    }
+
+    #[test]
+    fn software_engine_contract() {
+        let n = Ubig::from(97u64);
+        let p = MontgomeryParams::new(&n, 7);
+        let mut e = SoftwareEngine::new(p.clone());
+        let x = Ubig::from(150u64); // < 2N = 194
+        let y = Ubig::from(193u64);
+        let got = e.mont_mul(&x, &y);
+        let rinv = p.r().rem(&n).modinv(&n).unwrap();
+        assert_eq!(got.rem(&n), (&x * &y).modmul(&rinv, &n));
+        assert!(got < p.two_n());
+    }
+}

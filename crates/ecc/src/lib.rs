@@ -1,0 +1,26 @@
+//! # mmm-ecc — elliptic-curve point multiplication over GF(p) on MMM
+//!
+//! The paper's stated future work (§5): "implement also an ECC basic
+//! operation, i.e., point multiplication. This operation does not
+//! require modular exponentiation but modular multiplication only, so
+//! all required components are available." This crate builds exactly
+//! that, on top of the same [`MontMul`] engines as RSA:
+//!
+//! * [`field`] — GF(p) arithmetic in the Montgomery domain
+//!   (multiplication via an engine, addition/subtraction as bounded
+//!   `< 2N` carry-save-style residues, matching the operand contract of
+//!   Algorithm 2);
+//! * [`curve`] — short-Weierstrass curves `y² = x³ + ax + b`, Jacobian
+//!   projective points, complete double/add, and double-and-add scalar
+//!   multiplication.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod field;
+
+pub use curve::{Curve, Point};
+pub use field::FieldCtx;
+
+pub use mmm_core::traits::MontMul;

@@ -1,0 +1,33 @@
+//! # mmm-fpga — a Xilinx Virtex-E technology model
+//!
+//! The paper reports slice counts and clock periods from place-and-route
+//! on a Virtex-E V812E-BG-560-8. This crate substitutes that toolchain
+//! with a transparent model over `mmm-hdl` netlists:
+//!
+//! * [`lut`] — greedy single-fanout cone covering into 4-input LUTs
+//!   (the Virtex-E logic primitive), reporting LUT count and LUT depth;
+//! * [`mod@slice`] — slice packing (one Virtex-E slice hosts two LUT4s and
+//!   two flip-flops) with a calibrated packing-efficiency factor;
+//! * [`timing`] — clock-period estimation from LUT depth and a
+//!   routing-delay model with deterministic placement variance (the
+//!   paper's periods wiggle non-monotonically between 9.2 and 10.5 ns —
+//!   P&R noise, which we model rather than ignore);
+//! * [`report`] — one-call [`report::FpgaReport`] with every Table-2
+//!   quantity.
+//!
+//! Calibration policy (see EXPERIMENTS.md): the model's two free
+//! parameters (packing efficiency, base routing delay) are fitted at
+//! **one** point, `l = 32`, and every other bit length is *predicted*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lut;
+pub mod report;
+pub mod slice;
+pub mod timing;
+
+pub use lut::LutMapping;
+pub use report::FpgaReport;
+pub use slice::SlicePacker;
+pub use timing::VirtexETiming;

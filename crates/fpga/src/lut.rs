@@ -1,0 +1,314 @@
+//! Technology mapping onto 4-input LUTs.
+//!
+//! The mapper is a depth-oriented greedy cone cover *with node
+//! duplication* (a light-weight FlowMap): for every gate, a cut of at
+//! most 4 leaves is grown by repeatedly expanding the deepest leaf by
+//! **that leaf's own cut** (never its raw fanin, so an expansion can
+//! only keep or reduce depth). Logic shared between cones is duplicated
+//! into each consumer's LUT mask, exactly as FPGA synthesis does — a
+//! LUT is a LUT no matter how many original gates it swallows.
+//!
+//! Area is then counted by a reverse pass: a LUT is realized for every
+//! gate output that is actually *used* — read by a flip-flop, a primary
+//! output, or appearing as a leaf in a realized LUT's cut.
+//!
+//! Buffers are transparent (resolved away). The mapping reports LUT
+//! count (area) and maximum LUT depth over all register/output
+//! endpoints (timing).
+
+use mmm_hdl::netlist::{Driver, GateKind, Netlist};
+
+/// Result of covering a netlist with LUT4s.
+#[derive(Debug, Clone)]
+pub struct LutMapping {
+    /// Number of LUTs after covering.
+    pub luts: usize,
+    /// Flip-flop count (unchanged by mapping).
+    pub ffs: usize,
+    /// Maximum LUT depth from any source (input/FF/const) to any
+    /// endpoint (FF input or primary output).
+    pub depth: usize,
+    /// Histogram of leaf-input counts per LUT (index 1..=4).
+    pub fanin_histogram: [usize; 5],
+}
+
+const K: usize = 4; // LUT input count
+const MAX_EXPANSIONS: usize = 64;
+
+/// Covers `netlist` with 4-input LUTs.
+pub fn map_luts(netlist: &Netlist) -> LutMapping {
+    let order = mmm_hdl::eval::topo_order(netlist).expect("combinational netlist");
+    let n_signals = netlist.signal_count();
+    let n_gates = netlist.gates().len();
+
+    // resolve[s]: s with buffer chains collapsed to their source.
+    let mut resolve: Vec<u32> = (0..n_signals as u32).collect();
+    // depth[s]: LUT depth of the cone rooted at s (0 for sources).
+    let mut depth = vec![0usize; n_signals];
+    // cut[g]: chosen leaf set for gate g (resolved signal ids).
+    let mut cut: Vec<Vec<u32>> = vec![Vec::new(); n_gates];
+
+    // Forward pass: choose cuts, compute depths.
+    for &gi in &order {
+        let gate = &netlist.gates()[gi as usize];
+        let out = gate.output.index();
+        if gate.kind == GateKind::Buf {
+            let src = resolve[gate.inputs[0].index()] as usize;
+            resolve[out] = src as u32;
+            depth[out] = depth[src];
+            continue;
+        }
+
+        let mut leaves: Vec<u32> = Vec::with_capacity(K);
+        for &inp in &gate.inputs {
+            let r = resolve[inp.index()];
+            if !leaves.contains(&r) {
+                leaves.push(r);
+            }
+        }
+
+        // Grow the cut: expand the deepest gate-driven leaf by its own
+        // cut while the result still fits in K leaves.
+        for _ in 0..MAX_EXPANSIONS {
+            // Deepest expandable leaf.
+            let Some(&target) = leaves
+                .iter()
+                .filter(|&&s| matches!(netlist.driver(sig(s)), Driver::Gate(_)))
+                .max_by_key(|&&s| depth[s as usize])
+            else {
+                break;
+            };
+            let Driver::Gate(src_gate) = netlist.driver(sig(target)) else {
+                unreachable!()
+            };
+            let expansion = &cut[src_gate as usize];
+            let mut candidate: Vec<u32> =
+                leaves.iter().copied().filter(|&s| s != target).collect();
+            for &leaf in expansion {
+                if !candidate.contains(&leaf) {
+                    candidate.push(leaf);
+                }
+            }
+            if candidate.len() <= K && !candidate.is_empty() {
+                leaves = candidate;
+            } else {
+                break;
+            }
+        }
+
+        depth[out] = 1 + leaves
+            .iter()
+            .map(|&s| depth[s as usize])
+            .max()
+            .unwrap_or(0);
+        cut[gi as usize] = leaves;
+    }
+
+    // Reverse pass: mark realized LUT roots.
+    let mut required = vec![false; n_signals];
+    for dff in netlist.dffs() {
+        for s in [dff.d, dff.enable, dff.sync_clear].into_iter().flatten() {
+            required[resolve[s.index()] as usize] = true;
+        }
+    }
+    for (_, s) in netlist.outputs() {
+        required[resolve[s.index()] as usize] = true;
+    }
+
+    let mut luts = 0usize;
+    let mut hist = [0usize; 5];
+    let mut endpoint_depth = 0usize;
+    for &gi in order.iter().rev() {
+        let gate = &netlist.gates()[gi as usize];
+        if gate.kind == GateKind::Buf {
+            continue;
+        }
+        let out = gate.output.index();
+        if !required[out] {
+            continue;
+        }
+        luts += 1;
+        let fanin = cut[gi as usize].len().clamp(1, K);
+        hist[fanin] += 1;
+        for &leaf in &cut[gi as usize] {
+            if matches!(netlist.driver(sig(leaf)), Driver::Gate(_)) {
+                required[leaf as usize] = true;
+            }
+        }
+    }
+
+    for dff in netlist.dffs() {
+        for s in [dff.d, dff.enable, dff.sync_clear].into_iter().flatten() {
+            endpoint_depth = endpoint_depth.max(depth[resolve[s.index()] as usize]);
+        }
+    }
+    for (_, s) in netlist.outputs() {
+        endpoint_depth = endpoint_depth.max(depth[resolve[s.index()] as usize]);
+    }
+
+    LutMapping {
+        luts,
+        ffs: netlist.dffs().len(),
+        depth: endpoint_depth,
+        fanin_histogram: hist,
+    }
+}
+
+fn sig(raw: u32) -> mmm_hdl::SignalId {
+    // SignalId is a thin index wrapper; reconstruct through the public
+    // Bus-free path: indices round-trip via netlist drivers.
+    mmm_hdl::netlist::SignalId::from_index(raw as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmm_hdl::adders::{full_adder, CarryStyle};
+    use mmm_hdl::Netlist;
+
+    #[test]
+    fn mux_collapses_to_one_lut() {
+        let mut n = Netlist::new();
+        let s = n.input("s");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.mux(s, a, b);
+        n.expose_output("y", y);
+        let m = map_luts(&n);
+        assert_eq!(m.luts, 1, "NOT+2AND+OR with 3 leaves is one LUT4");
+        assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn full_adder_is_two_luts_depth_one() {
+        // Both FA outputs are 3-input functions: one LUT each, with the
+        // shared a⊕b duplicated into both masks.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let cin = n.input("cin");
+        let (s, c) = full_adder(&mut n, CarryStyle::XorMux, a, b, cin);
+        n.expose_output("s", s);
+        n.expose_output("c", c);
+        let m = map_luts(&n);
+        assert_eq!(m.luts, 2, "got {}", m.luts);
+        assert_eq!(m.depth, 1, "3-input functions are single-level");
+    }
+
+    #[test]
+    fn wide_and_tree_splits() {
+        // 8-input AND chain: 4+4 or similar → 2-3 LUTs, depth 2.
+        let mut n = Netlist::new();
+        let inputs: Vec<_> = (0..8).map(|i| n.input(&format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for &i in &inputs[1..] {
+            acc = n.and2(acc, i);
+        }
+        n.expose_output("y", acc);
+        let m = map_luts(&n);
+        assert!(m.luts >= 2 && m.luts <= 4, "got {}", m.luts);
+        // The mapper covers chains without restructuring them, so a
+        // depth of 2 (balanced) to 3 (greedy tail) is acceptable.
+        assert!(m.depth == 2 || m.depth == 3, "got {}", m.depth);
+    }
+
+    #[test]
+    fn buffers_are_free() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b1 = n.buf(a);
+        let b2 = n.buf(b1);
+        n.expose_output("y", b2);
+        let m = map_luts(&n);
+        assert_eq!(m.luts, 0);
+        assert_eq!(m.depth, 0);
+    }
+
+    #[test]
+    fn duplication_reduces_depth_but_not_correct_area() {
+        // t = a&b feeds two 4-leaf-compatible cones: t gets duplicated
+        // into both LUTs, and no standalone t-LUT is realized.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let d = n.input("d");
+        let t = n.and2(a, b);
+        let y1 = n.or2(t, c);
+        let y2 = n.xor2(t, d);
+        n.expose_output("y1", y1);
+        n.expose_output("y2", y2);
+        let m = map_luts(&n);
+        assert_eq!(m.luts, 2, "two 3-input LUTs, shared AND duplicated");
+        assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn dead_logic_is_not_counted() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let _dead = n.and2(a, b);
+        let live = n.or2(a, b);
+        n.expose_output("y", live);
+        let m = map_luts(&n);
+        assert_eq!(m.luts, 1);
+    }
+
+    #[test]
+    fn registers_counted_not_mapped() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let q = n.dff(a, false);
+        n.expose_output("q", q);
+        let m = map_luts(&n);
+        assert_eq!(m.luts, 0);
+        assert_eq!(m.ffs, 1);
+        assert_eq!(m.depth, 0);
+    }
+
+    #[test]
+    fn array_lut_depth_constant_in_l() {
+        // The systolic array's LUT depth must not grow with l — this is
+        // the technology-level version of the paper's critical-path
+        // claim.
+        let mut depths = Vec::new();
+        for l in [3usize, 16, 64] {
+            let arr = mmm_core::array::SystolicArray::build(l, CarryStyle::XorMux);
+            let m = map_luts(&arr.netlist);
+            depths.push(m.depth);
+        }
+        assert!(depths.windows(2).all(|w| w[0] == w[1]), "{depths:?}");
+        assert!(depths[0] >= 2 && depths[0] <= 4, "{depths:?}");
+    }
+
+    #[test]
+    fn mmmc_depth_equals_array_depth() {
+        // Control logic is retimed/tree-shaped so the regular cell
+        // remains the critical path — the paper's §4.4 claim.
+        for l in [8usize, 32, 128] {
+            let arr = mmm_core::array::SystolicArray::build(l, CarryStyle::XorMux);
+            let mmmc = mmm_core::Mmmc::build(l, CarryStyle::XorMux);
+            let da = map_luts(&arr.netlist).depth;
+            let dm = map_luts(&mmmc.netlist).depth;
+            assert!(
+                dm <= da + 1,
+                "l={l}: MMMC depth {dm} must not exceed array depth {da} (+1 slack)"
+            );
+        }
+    }
+
+    #[test]
+    fn array_luts_linear_in_l() {
+        let m8 =
+            map_luts(&mmm_core::array::SystolicArray::build(8, CarryStyle::XorMux).netlist);
+        let m64 =
+            map_luts(&mmm_core::array::SystolicArray::build(64, CarryStyle::XorMux).netlist);
+        let per_bit_8 = m8.luts as f64 / 8.0;
+        let per_bit_64 = m64.luts as f64 / 64.0;
+        assert!(
+            (per_bit_8 - per_bit_64).abs() / per_bit_64 < 0.25,
+            "LUT/bit should be ~constant: {per_bit_8:.2} vs {per_bit_64:.2}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Slice packing for the Virtex-E fabric.
+//!
+//! A Virtex-E CLB contains two slices; each slice holds **two LUT4s,
+//! two flip-flops, and the F5/F6 wide-function muxes** (which let a
+//! slice realize one 5- or 6-input function with both of its LUTs).
+//! The model estimates
+//!
+//! ```text
+//! slices(l) = ⌈ max(LUTs, FFs) / (2 · η(l)) ⌉
+//! η(l)      = η₀ · (1 + ρ · log2(l / 32))
+//! ```
+//!
+//! * `η₀` — packing efficiency at the calibration width (`l = 32`).
+//!   Values slightly above 1 are physical: F5/F6 merging packs more
+//!   than two LUT4-equivalents of logic into a slice.
+//! * `ρ` — packing-density improvement per doubling of design size.
+//!   The paper's own Table 2 shows slices/bit falling from 7.0
+//!   (`l = 32`) to 5.6 (`l = 1024`): larger arrays give P&R more
+//!   regular structure to pack. `ρ` is calibrated at `l = 1024`.
+//!
+//! With the two endpoints fitted, the four intermediate widths are
+//! *predictions* and land within ~1.5% of the paper (EXPERIMENTS.md).
+
+use crate::lut::LutMapping;
+
+/// Slice-packing model with calibrated efficiency and density slope.
+#[derive(Debug, Clone, Copy)]
+pub struct SlicePacker {
+    /// Effective fraction of the 2-LUT/2-FF slice capacity achieved at
+    /// the calibration width (may exceed 1 thanks to F5/F6 muxes).
+    pub efficiency: f64,
+    /// Fractional packing-density gain per doubling of `l`.
+    pub density_per_doubling: f64,
+}
+
+impl Default for SlicePacker {
+    /// Calibrated against the paper's Table 2 at `l = 32` (225 slices)
+    /// and `l = 1024` (5706 slices); see `mmm-bench --bin table2`.
+    fn default() -> Self {
+        SlicePacker {
+            efficiency: 1.0467,
+            density_per_doubling: 0.041,
+        }
+    }
+}
+
+impl SlicePacker {
+    /// A packer with explicit parameters.
+    pub fn with_params(efficiency: f64, density_per_doubling: f64) -> Self {
+        assert!(efficiency > 0.0 && efficiency <= 1.6);
+        SlicePacker {
+            efficiency,
+            density_per_doubling,
+        }
+    }
+
+    /// Effective packing efficiency at bit length `l`.
+    pub fn efficiency_at(&self, l: usize) -> f64 {
+        let doublings = (l as f64 / 32.0).log2().max(0.0);
+        self.efficiency * (1.0 + self.density_per_doubling * doublings)
+    }
+
+    /// Estimated slice count for a mapped netlist of width `l`.
+    pub fn slices(&self, mapping: &LutMapping, l: usize) -> usize {
+        let dominant = mapping.luts.max(mapping.ffs) as f64;
+        (dominant / (2.0 * self.efficiency_at(l))).ceil() as usize
+    }
+
+    /// The efficiency that would make `mapping` occupy exactly
+    /// `target_slices` at width `l` — used for endpoint calibration.
+    pub fn calibrate(mapping: &LutMapping, l: usize, target_slices: usize) -> f64 {
+        let dominant = mapping.luts.max(mapping.ffs) as f64;
+        let doublings = (l as f64 / 32.0).log2().max(0.0);
+        dominant / (2.0 * target_slices as f64) / (1.0 + 0.041 * doublings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(luts: usize, ffs: usize) -> LutMapping {
+        LutMapping {
+            luts,
+            ffs,
+            depth: 4,
+            fanin_histogram: [0; 5],
+        }
+    }
+
+    #[test]
+    fn perfect_packing_is_half_the_dominant_resource() {
+        let p = SlicePacker::with_params(1.0, 0.0);
+        assert_eq!(p.slices(&mapping(100, 40), 32), 50);
+        assert_eq!(p.slices(&mapping(40, 100), 32), 50);
+        assert_eq!(p.slices(&mapping(101, 0), 32), 51);
+    }
+
+    #[test]
+    fn lower_efficiency_needs_more_slices() {
+        let tight = SlicePacker::with_params(1.0, 0.0).slices(&mapping(200, 100), 32);
+        let loose = SlicePacker::with_params(0.5, 0.0).slices(&mapping(200, 100), 32);
+        assert_eq!(loose, 2 * tight);
+    }
+
+    #[test]
+    fn density_improves_with_scale() {
+        let p = SlicePacker::default();
+        let m = mapping(1000, 600);
+        let s32 = p.slices(&m, 32);
+        let s1024 = p.slices(&m, 1024);
+        assert!(
+            s1024 < s32,
+            "same logic should pack denser at larger scale: {s1024} vs {s32}"
+        );
+        assert!(p.efficiency_at(1024) > p.efficiency_at(32));
+    }
+
+    #[test]
+    fn density_slope_is_clamped_below_calibration_point() {
+        let p = SlicePacker::default();
+        assert_eq!(p.efficiency_at(8), p.efficiency_at(32), "no extrapolation below l=32");
+    }
+
+    #[test]
+    fn calibration_roundtrip() {
+        let m = mapping(471, 302);
+        let eff = SlicePacker::calibrate(&m, 32, 225);
+        let p = SlicePacker::with_params(eff, 0.041);
+        let got = p.slices(&m, 32);
+        assert!(got.abs_diff(225) <= 1, "got {got}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_efficiency() {
+        let _ = SlicePacker::with_params(0.0, 0.0);
+    }
+}

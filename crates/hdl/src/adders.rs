@@ -1,0 +1,333 @@
+//! Structural half- and full-adders.
+//!
+//! The paper's systolic cells are specified in terms of FA/HA blocks
+//! (Fig. 1) and its area formula counts XOR/AND/OR gates, so the gate
+//! decomposition of the adders matters. Two classical carry
+//! decompositions are provided:
+//!
+//! * [`CarryStyle::XorMux`] — `cout = a·b + cin·(a⊕b)` (re-uses the sum
+//!   XOR; 2 XOR + 2 AND + 1 OR per FA). This is the minimal-gate form.
+//! * [`CarryStyle::Majority`] — `cout = a·b + cin·(a+b)` (2 XOR + 2 AND
+//!   + 2 OR per FA). Counting with this form reproduces the paper's
+//!   `(4l−5) OR` coefficient; see `mmm-bench --bin area_check`.
+
+use crate::netlist::{Netlist, SignalId};
+
+/// Which gate decomposition to use for the full-adder carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CarryStyle {
+    /// `cout = a·b ∨ cin·(a⊕b)` — shares the sum XOR (1 OR per FA).
+    #[default]
+    XorMux,
+    /// `cout = a·b ∨ cin·(a∨b)` — the majority form as typically drawn
+    /// in schematic libraries (2 OR per FA).
+    Majority,
+}
+
+/// Gate cost of one adder block, used by closed-form area accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderCost {
+    /// XOR gates.
+    pub xor: usize,
+    /// AND gates.
+    pub and: usize,
+    /// OR gates.
+    pub or: usize,
+}
+
+impl CarryStyle {
+    /// Gate cost of a full adder in this style.
+    pub fn fa_cost(self) -> AdderCost {
+        match self {
+            CarryStyle::XorMux => AdderCost { xor: 2, and: 2, or: 1 },
+            CarryStyle::Majority => AdderCost { xor: 2, and: 2, or: 2 },
+        }
+    }
+
+    /// Gate cost of a half adder (style-independent).
+    pub fn ha_cost(self) -> AdderCost {
+        AdderCost { xor: 1, and: 1, or: 0 }
+    }
+}
+
+/// Builds a half adder. Returns `(sum, carry)`.
+pub fn half_adder(n: &mut Netlist, a: SignalId, b: SignalId) -> (SignalId, SignalId) {
+    let sum = n.xor2(a, b);
+    let carry = n.and2(a, b);
+    (sum, carry)
+}
+
+/// Builds a full adder in the requested carry style. Returns
+/// `(sum, carry)`.
+pub fn full_adder(
+    n: &mut Netlist,
+    style: CarryStyle,
+    a: SignalId,
+    b: SignalId,
+    cin: SignalId,
+) -> (SignalId, SignalId) {
+    let axb = n.xor2(a, b);
+    let sum = n.xor2(axb, cin);
+    let ab = n.and2(a, b);
+    let carry = match style {
+        CarryStyle::XorMux => {
+            let t = n.and2(cin, axb);
+            n.or2(ab, t)
+        }
+        CarryStyle::Majority => {
+            let aob = n.or2(a, b);
+            let t = n.and2(cin, aob);
+            n.or2(ab, t)
+        }
+    };
+    (sum, carry)
+}
+
+/// Builds a ripple-carry adder over two equal-width buses plus a carry
+/// in; returns `(sum_bus, carry_out)`. Used by the controller's counter
+/// and by test circuits.
+pub fn ripple_adder(
+    n: &mut Netlist,
+    style: CarryStyle,
+    a: &crate::netlist::Bus,
+    b: &crate::netlist::Bus,
+    cin: SignalId,
+) -> (crate::netlist::Bus, SignalId) {
+    assert_eq!(a.width(), b.width(), "ripple adder needs equal widths");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.width());
+    for i in 0..a.width() {
+        let (s, c) = full_adder(n, style, a.bit(i), b.bit(i), carry);
+        sum.push(s);
+        carry = c;
+    }
+    (crate::netlist::Bus(sum), carry)
+}
+
+/// Builds an incrementer (`bus + 1`); returns `(sum_bus, carry_out)`.
+/// Cheaper than a ripple adder: one HA per bit. The carry chain is
+/// linear — use [`incrementer_fast`] where logic depth matters.
+pub fn incrementer(
+    n: &mut Netlist,
+    a: &crate::netlist::Bus,
+) -> (crate::netlist::Bus, SignalId) {
+    let mut carry = n.one();
+    let mut sum = Vec::with_capacity(a.width());
+    for i in 0..a.width() {
+        let (s, c) = half_adder(n, a.bit(i), carry);
+        sum.push(s);
+        carry = c;
+    }
+    (crate::netlist::Bus(sum), carry)
+}
+
+/// Balanced AND over any number of signals (log₂ depth). An empty
+/// input list yields constant 1.
+pub fn and_tree(n: &mut Netlist, signals: &[SignalId]) -> SignalId {
+    match signals.len() {
+        0 => n.one(),
+        1 => signals[0],
+        len => {
+            let (lo, hi) = signals.split_at(len / 2);
+            let a = and_tree(n, lo);
+            let b = and_tree(n, hi);
+            n.and2(a, b)
+        }
+    }
+}
+
+/// Log-depth incrementer: carry into bit `i` is a balanced AND tree
+/// over bits `0..i` (models the FPGA's fast carry resources with plain
+/// gates; O(w²) gates, O(log w) depth — the counter widths here are
+/// ≤ 12 bits so the quadratic term is negligible).
+pub fn incrementer_fast(
+    n: &mut Netlist,
+    a: &crate::netlist::Bus,
+) -> (crate::netlist::Bus, SignalId) {
+    let bits: Vec<SignalId> = a.iter().collect();
+    let mut sum = Vec::with_capacity(bits.len());
+    for i in 0..bits.len() {
+        let carry = and_tree(n, &bits[..i]);
+        sum.push(n.xor2(bits[i], carry));
+    }
+    let carry_out = and_tree(n, &bits);
+    (crate::netlist::Bus(sum), carry_out)
+}
+
+/// Builds an equality comparator between a bus and a constant, as a
+/// balanced AND tree (log depth).
+pub fn equals_const(n: &mut Netlist, a: &crate::netlist::Bus, value: u64) -> SignalId {
+    assert!(a.width() <= 64);
+    let terms: Vec<SignalId> = a
+        .iter()
+        .enumerate()
+        .map(|(i, sig)| {
+            if (value >> i) & 1 == 1 {
+                sig
+            } else {
+                n.not1(sig)
+            }
+        })
+        .collect();
+    and_tree(n, &terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let (s, c) = half_adder(&mut n, a, b);
+        let mut sim = Simulator::new(&n).unwrap();
+        for (va, vb) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
+            sim.set(a, va == 1);
+            sim.set(b, vb == 1);
+            sim.settle();
+            let total = va + vb;
+            assert_eq!(sim.get(s) as u8, total & 1);
+            assert_eq!(sim.get(c) as u8, total >> 1);
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table_both_styles() {
+        for style in [CarryStyle::XorMux, CarryStyle::Majority] {
+            let mut n = Netlist::new();
+            let a = n.input("a");
+            let b = n.input("b");
+            let cin = n.input("cin");
+            let (s, c) = full_adder(&mut n, style, a, b, cin);
+            let mut sim = Simulator::new(&n).unwrap();
+            for bits in 0u8..8 {
+                let (va, vb, vc) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+                sim.set(a, va == 1);
+                sim.set(b, vb == 1);
+                sim.set(cin, vc == 1);
+                sim.settle();
+                let total = va + vb + vc;
+                assert_eq!(sim.get(s) as u8, total & 1, "sum {style:?} {bits:03b}");
+                assert_eq!(sim.get(c) as u8, total >> 1, "carry {style:?} {bits:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fa_gate_costs_match_netlist() {
+        for style in [CarryStyle::XorMux, CarryStyle::Majority] {
+            let mut n = Netlist::new();
+            let a = n.input("a");
+            let b = n.input("b");
+            let cin = n.input("cin");
+            let _ = full_adder(&mut n, style, a, b, cin);
+            let report = crate::area::AreaReport::of(&n);
+            let cost = style.fa_cost();
+            assert_eq!(report.xor, cost.xor, "{style:?}");
+            assert_eq!(report.and, cost.and, "{style:?}");
+            assert_eq!(report.or, cost.or, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 4);
+        let b = n.input_bus("b", 4);
+        let cin = n.input("cin");
+        let (sum, cout) = ripple_adder(&mut n, CarryStyle::XorMux, &a, &b, cin);
+        let mut sim = Simulator::new(&n).unwrap();
+        for va in 0u64..16 {
+            for vb in 0u64..16 {
+                for vc in 0u64..2 {
+                    sim.set_bus_u64(&a, va);
+                    sim.set_bus_u64(&b, vb);
+                    sim.set(cin, vc == 1);
+                    sim.settle();
+                    let total = va + vb + vc;
+                    assert_eq!(sim.get_bus_u64(&sum), total & 0xF);
+                    assert_eq!(sim.get(cout) as u64, total >> 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incrementer_wraps() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 3);
+        let (sum, cout) = incrementer(&mut n, &a);
+        let mut sim = Simulator::new(&n).unwrap();
+        for va in 0u64..8 {
+            sim.set_bus_u64(&a, va);
+            sim.settle();
+            assert_eq!(sim.get_bus_u64(&sum), (va + 1) & 7);
+            assert_eq!(sim.get(cout), va == 7);
+        }
+    }
+
+    #[test]
+    fn incrementer_fast_matches_ripple_exhaustive() {
+        for w in [1usize, 2, 5, 6] {
+            let mut n = Netlist::new();
+            let a = n.input_bus("a", w);
+            let (s1, c1) = incrementer(&mut n, &a);
+            let (s2, c2) = incrementer_fast(&mut n, &a);
+            let mut sim = Simulator::new(&n).unwrap();
+            for va in 0u64..(1 << w) {
+                sim.set_bus_u64(&a, va);
+                sim.settle();
+                assert_eq!(sim.get_bus_u64(&s1), sim.get_bus_u64(&s2), "w={w} va={va}");
+                assert_eq!(sim.get(c1), sim.get(c2), "w={w} va={va}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_tree_depth_is_logarithmic() {
+        use crate::timing::{critical_path, UnitDelay};
+        let mut n = Netlist::new();
+        let inputs: Vec<_> = (0..16).map(|i| n.input(&format!("i{i}"))).collect();
+        let y = and_tree(&mut n, &inputs);
+        n.expose_output("y", y);
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert_eq!(cp.levels, 4, "16 inputs -> log2 = 4 levels");
+    }
+
+    #[test]
+    fn and_tree_empty_is_one() {
+        let mut n = Netlist::new();
+        let y = and_tree(&mut n, &[]);
+        n.expose_output("y", y);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle();
+        assert!(sim.get(y));
+    }
+
+    #[test]
+    fn equals_const_detects_only_target() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 5);
+        let eq = equals_const(&mut n, &a, 19);
+        let mut sim = Simulator::new(&n).unwrap();
+        for va in 0u64..32 {
+            sim.set_bus_u64(&a, va);
+            sim.settle();
+            assert_eq!(sim.get(eq), va == 19, "va={va}");
+        }
+    }
+
+    #[test]
+    fn equals_const_empty_bus_is_true() {
+        let mut n = Netlist::new();
+        let a = crate::netlist::Bus(vec![]);
+        let eq = equals_const(&mut n, &a, 0);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle();
+        assert!(sim.get(eq));
+    }
+}

@@ -1,0 +1,152 @@
+//! Gate census of a netlist — the quantity the paper reports as
+//! "Total area of the systolic array is (5l−3)XOR + (7l−7)AND +
+//! (4l−5)OR gates and 4l flip-flops".
+
+use crate::netlist::{GateKind, Netlist};
+
+/// Counts of each primitive in a netlist. N-ary And/Or/Xor gates are
+/// counted as (n−1) two-input gates, matching hand gate-counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaReport {
+    /// Two-input XOR equivalents.
+    pub xor: usize,
+    /// Two-input AND equivalents.
+    pub and: usize,
+    /// Two-input OR equivalents.
+    pub or: usize,
+    /// Inverters.
+    pub not: usize,
+    /// Buffers (zero area; kept for completeness).
+    pub buf: usize,
+    /// D flip-flops.
+    pub dff: usize,
+}
+
+impl AreaReport {
+    /// Computes the census of a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut r = AreaReport {
+            dff: netlist.dffs().len(),
+            ..Default::default()
+        };
+        for gate in netlist.gates() {
+            let two_input_equiv = gate.inputs.len().saturating_sub(1).max(1);
+            match gate.kind {
+                GateKind::And => r.and += two_input_equiv,
+                GateKind::Or => r.or += two_input_equiv,
+                GateKind::Xor => r.xor += two_input_equiv,
+                GateKind::Not => r.not += 1,
+                GateKind::Buf => r.buf += 1,
+            }
+        }
+        r
+    }
+
+    /// Total two-input-equivalent combinational gates (excluding
+    /// zero-area buffers).
+    pub fn total_gates(&self) -> usize {
+        self.xor + self.and + self.or + self.not
+    }
+
+    /// Element-wise sum of two reports.
+    pub fn plus(&self, other: &AreaReport) -> AreaReport {
+        AreaReport {
+            xor: self.xor + other.xor,
+            and: self.and + other.and,
+            or: self.or + other.or,
+            not: self.not + other.not,
+            buf: self.buf + other.buf,
+            dff: self.dff + other.dff,
+        }
+    }
+}
+
+impl std::fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} XOR + {} AND + {} OR + {} NOT, {} FF",
+            self.xor, self.and, self.or, self.not, self.dff
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn counts_each_kind() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor2(a, b);
+        let y = n.and2(x, a);
+        let z = n.or2(y, b);
+        let w = n.not1(z);
+        let q = n.dff(w, false);
+        let _ = n.buf(q);
+        let r = AreaReport::of(&n);
+        assert_eq!(
+            r,
+            AreaReport {
+                xor: 1,
+                and: 1,
+                or: 1,
+                not: 1,
+                buf: 1,
+                dff: 1
+            }
+        );
+        assert_eq!(r.total_gates(), 4);
+    }
+
+    #[test]
+    fn nary_counted_as_two_input_equivalents() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let d = n.input("d");
+        // 4-input AND == 3 two-input ANDs.
+        let g = crate::netlist::GateKind::And;
+        let _ = {
+            // Build through the public API by chaining; then also count
+            // the chain:
+            let t1 = n.and2(a, b);
+            let t2 = n.and2(t1, c);
+            n.and2(t2, d)
+        };
+        let _ = g;
+        assert_eq!(AreaReport::of(&n).and, 3);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = AreaReport {
+            xor: 5,
+            and: 7,
+            or: 4,
+            not: 0,
+            buf: 0,
+            dff: 4,
+        };
+        assert_eq!(r.to_string(), "5 XOR + 7 AND + 4 OR + 0 NOT, 4 FF");
+    }
+
+    #[test]
+    fn plus_adds_fields() {
+        let a = AreaReport {
+            xor: 1,
+            and: 2,
+            or: 3,
+            not: 4,
+            buf: 5,
+            dff: 6,
+        };
+        let b = a.plus(&a);
+        assert_eq!(b.xor, 2);
+        assert_eq!(b.dff, 12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Schematic export: Graphviz DOT and a plain-text summary, used to
+//! regenerate the paper's Figs. 1–3 from the actual netlists.
+
+use crate::netlist::{Driver, GateKind, Netlist, SignalId};
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz DOT digraph.
+///
+/// Inputs are boxes, gates are ellipses labelled with their function,
+/// flip-flops are records, outputs are double circles.
+pub fn to_dot(netlist: &Netlist, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  label=\"{title}\";");
+
+    for (name, sig) in netlist.inputs() {
+        let _ = writeln!(
+            out,
+            "  s{} [shape=box, label=\"{}\"];",
+            sig.index(),
+            name
+        );
+    }
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        let label = match gate.kind {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Xor => "XOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+        };
+        let _ = writeln!(
+            out,
+            "  s{} [shape=ellipse, label=\"{}#{}\"];",
+            gate.output.index(),
+            label,
+            gi
+        );
+        for &inp in &gate.inputs {
+            let _ = writeln!(out, "  s{} -> s{};", inp.index(), gate.output.index());
+        }
+    }
+    for (di, dff) in netlist.dffs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  s{} [shape=record, label=\"DFF#{}\"];",
+            dff.q.index(),
+            di
+        );
+        if let Some(d) = dff.d {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [style=bold];",
+                d.index(),
+                dff.q.index()
+            );
+        }
+        if let Some(en) = dff.enable {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [style=dashed, label=\"en\"];",
+                en.index(),
+                dff.q.index()
+            );
+        }
+    }
+    for (name, sig) in netlist.outputs() {
+        let port = format!("out_{}", sanitize(name));
+        let _ = writeln!(out, "  {port} [shape=doublecircle, label=\"{name}\"];");
+        let _ = writeln!(out, "  s{} -> {port};", sig.index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// One-paragraph text summary: port list, gate census, FF count.
+pub fn summarize(netlist: &Netlist, title: &str) -> String {
+    let area = crate::area::AreaReport::of(netlist);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "inputs: {}  outputs: {}  signals: {}",
+        netlist.inputs().len(),
+        netlist.outputs().len(),
+        netlist.signal_count()
+    );
+    let _ = writeln!(out, "area: {area}");
+    out
+}
+
+/// Names a signal for diagnostics: its debug name if present, else its
+/// driver description.
+pub fn signal_label(netlist: &Netlist, sig: SignalId) -> String {
+    if let Some(name) = netlist.names.get(&sig) {
+        return name.clone();
+    }
+    match netlist.driver(sig) {
+        Driver::Zero => "0".into(),
+        Driver::One => "1".into(),
+        Driver::Input(i) => netlist.inputs()[i as usize].0.clone(),
+        Driver::Gate(i) => format!("g{i}"),
+        Driver::Dff(i) => format!("ff{i}"),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn tiny() -> (Netlist, SignalId) {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.xor2(a, b);
+        let q = n.dff(y, false);
+        n.expose_output("q", q);
+        (n, y)
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let (n, _) = tiny();
+        let dot = to_dot(&n, "tiny");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("XOR#0"));
+        assert!(dot.contains("DFF#0"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn summary_reports_counts() {
+        let (n, _) = tiny();
+        let s = summarize(&n, "tiny");
+        assert!(s.contains("inputs: 2"));
+        assert!(s.contains("outputs: 1"));
+        assert!(s.contains("1 XOR"));
+    }
+
+    #[test]
+    fn signal_label_prefers_debug_name() {
+        let (mut n, y) = tiny();
+        assert_eq!(signal_label(&n, y), "g0");
+        n.name(y, "sum");
+        assert_eq!(signal_label(&n, y), "sum");
+    }
+
+    #[test]
+    fn sanitize_ports() {
+        assert_eq!(sanitize("T[3]"), "T_3_");
+    }
+}

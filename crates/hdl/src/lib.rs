@@ -1,0 +1,60 @@
+//! # mmm-hdl — gate-level netlists and a cycle-accurate simulator
+//!
+//! The paper implements its systolic Montgomery multiplier on a Xilinx
+//! Virtex-E FPGA. That hardware is replaced here by a small but complete
+//! HDL substrate:
+//!
+//! * [`netlist::Netlist`] — an arena of boolean gates
+//!   (AND/OR/XOR/NOT/BUF), D flip-flops with optional clock enables,
+//!   named ports and buses;
+//! * [`adders`] — structural half/full adders in the two classical
+//!   carry decompositions (XOR-mux and majority), because the paper's
+//!   gate-count formulas depend on which one is assumed;
+//! * [`eval`]/[`sim`] — topological evaluation with combinational-loop
+//!   detection and a two-phase (settle, clock) cycle-accurate
+//!   simulator;
+//! * [`area`] — gate census used to reproduce the paper's
+//!   `(5l−3) XOR + (7l−7) AND + (4l−5) OR` area formula;
+//! * [`timing`] — register-to-register critical-path extraction under a
+//!   pluggable [`timing::DelayModel`], reproducing the paper's claim
+//!   that the critical path is `2·T_FA(cin→cout) + T_HA(cin→cout)`
+//!   independent of bit length;
+//! * [`export`] — DOT / text schematic dumps for the paper's figures.
+//!
+//! ```
+//! use mmm_hdl::netlist::Netlist;
+//! use mmm_hdl::sim::Simulator;
+//!
+//! // Build a 1-bit toggle: q' = NOT q.
+//! let mut n = Netlist::new();
+//! let q = n.dff_placeholder(false);
+//! let d = n.not1(q.q());
+//! n.connect_dff(q, d);
+//! n.expose_output("q", q.q());
+//!
+//! let mut sim = Simulator::new(&n).unwrap();
+//! sim.settle();
+//! assert!(!sim.get(q.q()));
+//! sim.step();
+//! assert!(sim.get(q.q()));
+//! sim.step();
+//! assert!(!sim.get(q.q()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adders;
+pub mod area;
+pub mod eval;
+pub mod export;
+pub mod netlist;
+pub mod sim;
+pub mod timing;
+pub mod vcd;
+
+pub use adders::CarryStyle;
+pub use area::AreaReport;
+pub use netlist::{Bus, DffHandle, GateKind, Netlist, SignalId};
+pub use sim::Simulator;
+pub use timing::{CriticalPath, DelayModel, UnitDelay};

@@ -1,0 +1,489 @@
+//! The [`Netlist`] arena: signals, gates, flip-flops, ports and buses.
+//!
+//! A netlist is a static structural description. Signals are plain
+//! indices; each signal has exactly one driver (constant, primary
+//! input, gate output, or flip-flop Q). Construction is append-only,
+//! which keeps the representation compact and makes evaluation a flat
+//! array walk.
+
+use std::collections::BTreeMap;
+
+/// Index of a signal (wire) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `SignalId` from a raw index previously obtained
+    /// via [`SignalId::index`]. Analysis passes (e.g. technology
+    /// mappers) use this to key dense side tables; indices are only
+    /// meaningful for the netlist they came from.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index as u32)
+    }
+}
+
+/// Combinational gate kinds. `And`/`Or`/`Xor` are n-ary (n ≥ 2) so the
+/// area census can count them as (n−1) two-input gates when reproducing
+/// the paper's formulas; the cell builders only ever emit 2-input
+/// gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Inverter (1 input).
+    Not,
+    /// Buffer (1 input); used to alias/rename signals.
+    Buf,
+}
+
+/// A combinational gate.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Boolean function computed by the gate.
+    pub kind: GateKind,
+    /// Input signals (2+ for And/Or/Xor, exactly 1 for Not/Buf).
+    pub inputs: Vec<SignalId>,
+    /// The signal driven by this gate.
+    pub output: SignalId,
+}
+
+/// A D flip-flop, positive-edge, with optional clock enable, optional
+/// synchronous clear, and a reset/init value used when the simulator is
+/// (re)initialized.
+///
+/// The synchronous clear models the dedicated SR input of FPGA
+/// flip-flops (e.g. Virtex-E slices): it forces the register to `init`
+/// at the clock edge *without consuming fabric gates*, which keeps gate
+/// censuses and critical paths faithful to hand-counted schematics.
+/// Priority: `sync_clear` > `enable`.
+#[derive(Debug, Clone)]
+pub struct Dff {
+    /// Data input; `None` until connected (placeholder state).
+    pub d: Option<SignalId>,
+    /// Q output signal.
+    pub q: SignalId,
+    /// Optional clock-enable signal (load only when high).
+    pub enable: Option<SignalId>,
+    /// Optional synchronous clear-to-init signal.
+    pub sync_clear: Option<SignalId>,
+    /// Power-on / reset value.
+    pub init: bool,
+}
+
+/// Handle to a flip-flop inside a netlist, returned by
+/// [`Netlist::dff_placeholder`] so feedback loops can be wired after
+/// the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DffHandle {
+    pub(crate) index: u32,
+    q: SignalId,
+}
+
+impl DffHandle {
+    /// The flip-flop's Q output signal.
+    pub fn q(self) -> SignalId {
+        self.q
+    }
+}
+
+/// How a signal is driven. Exactly one driver per signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Constant 0.
+    Zero,
+    /// Constant 1.
+    One,
+    /// Primary input (index into the inputs list).
+    Input(u32),
+    /// Output of gate `gates[i]`.
+    Gate(u32),
+    /// Q of flip-flop `dffs[i]`.
+    Dff(u32),
+}
+
+/// A little-endian bundle of signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus(pub Vec<SignalId>);
+
+impl Bus {
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Signal for bit `i`.
+    pub fn bit(&self, i: usize) -> SignalId {
+        self.0[i]
+    }
+
+    /// Iterates bits LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// A gate-level circuit under construction or analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) drivers: Vec<Driver>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) inputs: Vec<(String, SignalId)>,
+    pub(crate) outputs: BTreeMap<String, SignalId>,
+    pub(crate) names: BTreeMap<SignalId, String>,
+    zero: Option<SignalId>,
+    one: Option<SignalId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh(&mut self, driver: Driver) -> SignalId {
+        let id = SignalId(self.drivers.len() as u32);
+        self.drivers.push(driver);
+        id
+    }
+
+    /// The constant-0 signal (created on first use).
+    pub fn zero(&mut self) -> SignalId {
+        if let Some(z) = self.zero {
+            return z;
+        }
+        let z = self.fresh(Driver::Zero);
+        self.zero = Some(z);
+        z
+    }
+
+    /// The constant-1 signal (created on first use).
+    pub fn one(&mut self) -> SignalId {
+        if let Some(o) = self.one {
+            return o;
+        }
+        let o = self.fresh(Driver::One);
+        self.one = Some(o);
+        o
+    }
+
+    /// Declares a named primary input.
+    pub fn input(&mut self, name: &str) -> SignalId {
+        let idx = self.inputs.len() as u32;
+        let sig = self.fresh(Driver::Input(idx));
+        self.inputs.push((name.to_string(), sig));
+        self.names.insert(sig, name.to_string());
+        sig
+    }
+
+    /// Declares a named input bus of `width` bits (bit i named
+    /// `name[i]`).
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
+        Bus((0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect())
+    }
+
+    /// Marks a signal as a named primary output.
+    pub fn expose_output(&mut self, name: &str, sig: SignalId) {
+        self.outputs.insert(name.to_string(), sig);
+    }
+
+    /// Marks every bit of a bus as outputs `name[i]`.
+    pub fn expose_output_bus(&mut self, name: &str, bus: &Bus) {
+        for (i, sig) in bus.iter().enumerate() {
+            self.expose_output(&format!("{name}[{i}]"), sig);
+        }
+    }
+
+    /// Attaches a debug name to a signal (for schematic export).
+    pub fn name(&mut self, sig: SignalId, name: &str) {
+        self.names.insert(sig, name.to_string());
+    }
+
+    fn gate(&mut self, kind: GateKind, inputs: Vec<SignalId>) -> SignalId {
+        debug_assert!(match kind {
+            GateKind::Not | GateKind::Buf => inputs.len() == 1,
+            _ => inputs.len() >= 2,
+        });
+        let gate_idx = self.gates.len() as u32;
+        let out = self.fresh(Driver::Gate(gate_idx));
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output: out,
+        });
+        out
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::And, vec![a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Or, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.gate(GateKind::Xor, vec![a, b])
+    }
+
+    /// Inverter.
+    pub fn not1(&mut self, a: SignalId) -> SignalId {
+        self.gate(GateKind::Not, vec![a])
+    }
+
+    /// Buffer (signal alias with its own id).
+    pub fn buf(&mut self, a: SignalId) -> SignalId {
+        self.gate(GateKind::Buf, vec![a])
+    }
+
+    /// 2:1 multiplexer: `sel ? a : b`, built from primitive gates.
+    pub fn mux(&mut self, sel: SignalId, a: SignalId, b: SignalId) -> SignalId {
+        let nsel = self.not1(sel);
+        let ta = self.and2(sel, a);
+        let tb = self.and2(nsel, b);
+        self.or2(ta, tb)
+    }
+
+    /// D flip-flop with its data input already known.
+    pub fn dff(&mut self, d: SignalId, init: bool) -> SignalId {
+        let h = self.dff_placeholder(init);
+        self.connect_dff(h, d);
+        h.q()
+    }
+
+    /// D flip-flop with clock enable.
+    pub fn dff_en(&mut self, d: SignalId, enable: SignalId, init: bool) -> SignalId {
+        let h = self.dff_placeholder(init);
+        self.connect_dff(h, d);
+        self.dffs[h.index as usize].enable = Some(enable);
+        h.q()
+    }
+
+    /// Creates a flip-flop whose D input will be connected later
+    /// (needed for feedback paths). The Q signal is usable immediately.
+    pub fn dff_placeholder(&mut self, init: bool) -> DffHandle {
+        let dff_idx = self.dffs.len() as u32;
+        let q = self.fresh(Driver::Dff(dff_idx));
+        self.dffs.push(Dff {
+            d: None,
+            q,
+            enable: None,
+            sync_clear: None,
+            init,
+        });
+        DffHandle { index: dff_idx, q }
+    }
+
+    /// Connects the D input of a placeholder flip-flop.
+    ///
+    /// # Panics
+    /// Panics if the flip-flop is already connected.
+    pub fn connect_dff(&mut self, handle: DffHandle, d: SignalId) {
+        let dff = &mut self.dffs[handle.index as usize];
+        assert!(dff.d.is_none(), "flip-flop D input connected twice");
+        dff.d = Some(d);
+    }
+
+    /// Sets the clock-enable of a placeholder flip-flop.
+    pub fn set_dff_enable(&mut self, handle: DffHandle, enable: SignalId) {
+        self.dffs[handle.index as usize].enable = Some(enable);
+    }
+
+    /// Sets the synchronous clear of a placeholder flip-flop.
+    pub fn set_dff_clear(&mut self, handle: DffHandle, clear: SignalId) {
+        self.dffs[handle.index as usize].sync_clear = Some(clear);
+    }
+
+    /// D flip-flop with synchronous clear.
+    pub fn dff_clr(&mut self, d: SignalId, clear: SignalId, init: bool) -> SignalId {
+        let h = self.dff_placeholder(init);
+        self.connect_dff(h, d);
+        self.set_dff_clear(h, clear);
+        h.q()
+    }
+
+    /// D flip-flop with clock enable and synchronous clear
+    /// (clear wins).
+    pub fn dff_en_clr(
+        &mut self,
+        d: SignalId,
+        enable: SignalId,
+        clear: SignalId,
+        init: bool,
+    ) -> SignalId {
+        let h = self.dff_placeholder(init);
+        self.connect_dff(h, d);
+        self.set_dff_enable(h, enable);
+        self.set_dff_clear(h, clear);
+        h.q()
+    }
+
+    /// Registers every bit of a bus, returning the Q bus.
+    pub fn dff_bus(&mut self, d: &Bus, init: bool) -> Bus {
+        Bus(d.iter().map(|s| self.dff(s, init)).collect())
+    }
+
+    /// Registers a bus with a shared clock-enable.
+    pub fn dff_bus_en(&mut self, d: &Bus, enable: SignalId, init: bool) -> Bus {
+        Bus(d.iter().map(|s| self.dff_en(s, enable, init)).collect())
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Read-only gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Read-only flip-flop list.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Mutable gate list — provided for fault-injection and netlist
+    /// transformation tooling. Mutations can invalidate structural
+    /// invariants; run [`Netlist::lint`] (and expect topological
+    /// re-validation in the simulator) afterwards.
+    pub fn gates_mut(&mut self) -> &mut [Gate] {
+        &mut self.gates
+    }
+
+    /// Mutable flip-flop list (see [`Netlist::gates_mut`]).
+    pub fn dffs_mut(&mut self) -> &mut [Dff] {
+        &mut self.dffs
+    }
+
+    /// Named primary inputs.
+    pub fn inputs(&self) -> &[(String, SignalId)] {
+        &self.inputs
+    }
+
+    /// Named primary outputs.
+    pub fn outputs(&self) -> &BTreeMap<String, SignalId> {
+        &self.outputs
+    }
+
+    /// Looks up an output signal by name.
+    pub fn output(&self, name: &str) -> Option<SignalId> {
+        self.outputs.get(name).copied()
+    }
+
+    /// The driver of a signal.
+    pub fn driver(&self, sig: SignalId) -> Driver {
+        self.drivers[sig.index()]
+    }
+
+    /// Checks structural sanity: every flip-flop connected, gate arities
+    /// valid, and all referenced signals in range. Returns a list of
+    /// problems (empty = OK).
+    pub fn lint(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, dff) in self.dffs.iter().enumerate() {
+            if dff.d.is_none() {
+                problems.push(format!("dff #{i} has an unconnected D input"));
+            }
+        }
+        for (i, gate) in self.gates.iter().enumerate() {
+            let arity_ok = match gate.kind {
+                GateKind::Not | GateKind::Buf => gate.inputs.len() == 1,
+                _ => gate.inputs.len() >= 2,
+            };
+            if !arity_ok {
+                problems.push(format!(
+                    "gate #{i} ({:?}) has invalid arity {}",
+                    gate.kind,
+                    gate.inputs.len()
+                ));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_singletons() {
+        let mut n = Netlist::new();
+        assert_eq!(n.zero(), n.zero());
+        assert_eq!(n.one(), n.one());
+        assert_ne!(n.zero(), n.one());
+    }
+
+    #[test]
+    fn input_bus_names_bits() {
+        let mut n = Netlist::new();
+        let b = n.input_bus("x", 3);
+        assert_eq!(b.width(), 3);
+        assert_eq!(n.inputs()[1].0, "x[1]");
+    }
+
+    #[test]
+    fn gate_drivers_recorded() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        match n.driver(y) {
+            Driver::Gate(0) => {}
+            other => panic!("unexpected driver {other:?}"),
+        }
+        assert_eq!(n.gates().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected twice")]
+    fn double_connect_dff_panics() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let h = n.dff_placeholder(false);
+        n.connect_dff(h, a);
+        n.connect_dff(h, a);
+    }
+
+    #[test]
+    fn lint_flags_unconnected_dff() {
+        let mut n = Netlist::new();
+        let _ = n.dff_placeholder(false);
+        let problems = n.lint();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("unconnected"));
+    }
+
+    #[test]
+    fn lint_clean_circuit() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let q = n.dff(a, false);
+        n.expose_output("q", q);
+        assert!(n.lint().is_empty());
+    }
+
+    #[test]
+    fn outputs_by_name() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        n.expose_output("y", a);
+        assert_eq!(n.output("y"), Some(a));
+        assert_eq!(n.output("z"), None);
+    }
+}

@@ -1,0 +1,347 @@
+//! Cycle-accurate two-phase simulation of a [`Netlist`].
+//!
+//! Each cycle has two phases:
+//!
+//! 1. **settle** — combinational gates are evaluated in topological
+//!    order from the current inputs, constants and flip-flop states;
+//! 2. **clock** — every enabled flip-flop captures its D input
+//!    simultaneously (the captured values are computed before any Q is
+//!    updated, so the semantics are those of a single global positive
+//!    clock edge).
+
+use crate::eval::{topo_order, CombLoop};
+use crate::netlist::{Bus, Driver, GateKind, Netlist, SignalId};
+
+/// A running simulation instance. Borrows the netlist immutably, so
+/// many simulators can share one netlist (e.g. parallel sweeps).
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    order: Vec<u32>,
+    values: Vec<bool>,
+    next_ff: Vec<bool>,
+    cycles: u64,
+}
+
+impl<'n> Simulator<'n> {
+    /// Prepares a simulator: validates the netlist and computes the
+    /// evaluation order. Flip-flops start at their `init` values,
+    /// inputs at 0.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, CombLoop> {
+        let order = topo_order(netlist)?;
+        let problems = netlist.lint();
+        assert!(
+            problems.is_empty(),
+            "netlist fails lint: {}",
+            problems.join("; ")
+        );
+        let mut sim = Simulator {
+            netlist,
+            order,
+            values: vec![false; netlist.signal_count()],
+            next_ff: vec![false; netlist.dffs().len()],
+            cycles: 0,
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// Resets flip-flops to their init values and clears inputs and the
+    /// cycle counter.
+    pub fn reset(&mut self) {
+        self.values.fill(false);
+        for dff in self.netlist.dffs() {
+            self.values[dff.q.index()] = dff.init;
+        }
+        // Constant drivers.
+        for (i, drv) in self.netlist.drivers.iter().enumerate() {
+            if *drv == Driver::One {
+                self.values[i] = true;
+            }
+        }
+        self.cycles = 0;
+    }
+
+    /// Drives a primary input.
+    pub fn set(&mut self, sig: SignalId, value: bool) {
+        debug_assert!(
+            matches!(self.netlist.driver(sig), Driver::Input(_)),
+            "set() target must be a primary input"
+        );
+        self.values[sig.index()] = value;
+    }
+
+    /// Drives an input bus from the low bits of `value` (little-endian).
+    pub fn set_bus_u64(&mut self, bus: &Bus, value: u64) {
+        for (i, sig) in bus.iter().enumerate() {
+            self.set(sig, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Drives an input bus from a little-endian bit slice.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != bus.width()`.
+    pub fn set_bus_bits(&mut self, bus: &Bus, bits: &[bool]) {
+        assert_eq!(bits.len(), bus.width(), "bus width mismatch");
+        for (sig, &b) in bus.iter().zip(bits) {
+            self.set(sig, b);
+        }
+    }
+
+    /// Reads any signal's current (settled) value.
+    pub fn get(&self, sig: SignalId) -> bool {
+        self.values[sig.index()]
+    }
+
+    /// Reads a bus as a u64 (width ≤ 64).
+    pub fn get_bus_u64(&self, bus: &Bus) -> u64 {
+        assert!(bus.width() <= 64, "bus too wide for u64");
+        bus.iter()
+            .enumerate()
+            .fold(0, |acc, (i, sig)| acc | ((self.get(sig) as u64) << i))
+    }
+
+    /// Reads a bus as a little-endian bit vector.
+    pub fn get_bus_bits(&self, bus: &Bus) -> Vec<bool> {
+        bus.iter().map(|s| self.get(s)).collect()
+    }
+
+    /// Phase 1: propagates combinational logic to a fixed point (one
+    /// pass in topological order).
+    pub fn settle(&mut self) {
+        for &gi in &self.order {
+            let gate = &self.netlist.gates[gi as usize];
+            let v = match gate.kind {
+                GateKind::And => gate
+                    .inputs
+                    .iter()
+                    .all(|&s| self.values[s.index()]),
+                GateKind::Or => gate
+                    .inputs
+                    .iter()
+                    .any(|&s| self.values[s.index()]),
+                GateKind::Xor => gate
+                    .inputs
+                    .iter()
+                    .fold(false, |acc, &s| acc ^ self.values[s.index()]),
+                GateKind::Not => !self.values[gate.inputs[0].index()],
+                GateKind::Buf => self.values[gate.inputs[0].index()],
+            };
+            self.values[gate.output.index()] = v;
+        }
+    }
+
+    /// One full clock cycle: settle, then clock all flip-flops.
+    pub fn step(&mut self) {
+        self.settle();
+        // Capture all D inputs before updating any Q (simultaneous edge).
+        for (i, dff) in self.netlist.dffs().iter().enumerate() {
+            let clear = dff
+                .sync_clear
+                .is_some_and(|c| self.values[c.index()]);
+            let load = dff
+                .enable
+                .map_or(true, |en| self.values[en.index()]);
+            self.next_ff[i] = if clear {
+                dff.init
+            } else if load {
+                self.values[dff.d.expect("lint guarantees connection").index()]
+            } else {
+                self.values[dff.q.index()]
+            };
+        }
+        for (i, dff) in self.netlist.dffs().iter().enumerate() {
+            self.values[dff.q.index()] = self.next_ff[i];
+        }
+        self.cycles += 1;
+    }
+
+    /// Steps until `probe` reads true (checked after each settle),
+    /// returning the number of cycles stepped, or `None` if `max_cycles`
+    /// elapsed first.
+    pub fn run_until(&mut self, probe: SignalId, max_cycles: u64) -> Option<u64> {
+        let start = self.cycles;
+        loop {
+            self.settle();
+            if self.get(probe) {
+                return Some(self.cycles - start);
+            }
+            if self.cycles - start >= max_cycles {
+                return None;
+            }
+            self.step();
+        }
+    }
+
+    /// Total clock cycles stepped since construction/reset.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn combinational_truth_tables() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let and = n.and2(a, b);
+        let or = n.or2(a, b);
+        let xor = n.xor2(a, b);
+        let not = n.not1(a);
+        let mut sim = Simulator::new(&n).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            sim.set(a, va);
+            sim.set(b, vb);
+            sim.settle();
+            assert_eq!(sim.get(and), va & vb);
+            assert_eq!(sim.get(or), va | vb);
+            assert_eq!(sim.get(xor), va ^ vb);
+            assert_eq!(sim.get(not), !va);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new();
+        let s = n.input("s");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.mux(s, a, b);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set(a, true);
+        sim.set(b, false);
+        sim.set(s, true);
+        sim.settle();
+        assert!(sim.get(y), "sel=1 chooses a");
+        sim.set(s, false);
+        sim.settle();
+        assert!(!sim.get(y), "sel=0 chooses b");
+    }
+
+    #[test]
+    fn dff_delays_one_cycle() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let q = n.dff(a, false);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set(a, true);
+        sim.settle();
+        assert!(!sim.get(q), "before the edge Q holds init");
+        sim.step();
+        assert!(sim.get(q), "after the edge Q captured D");
+    }
+
+    #[test]
+    fn dff_enable_gates_capture() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let en = n.input("en");
+        let q = n.dff_en(a, en, false);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set(a, true);
+        sim.set(en, false);
+        sim.step();
+        assert!(!sim.get(q), "disabled FF holds");
+        sim.set(en, true);
+        sim.step();
+        assert!(sim.get(q), "enabled FF captures");
+        sim.set(en, false);
+        sim.set(a, false);
+        sim.step();
+        assert!(sim.get(q), "disabled FF holds captured value");
+    }
+
+    #[test]
+    fn simultaneous_edge_shift_register() {
+        // Two FFs in a chain must shift, not fall through.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let q0 = n.dff(a, false);
+        let q1 = n.dff(q0, false);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set(a, true);
+        sim.step();
+        assert!(sim.get(q0));
+        assert!(!sim.get(q1), "value must not skip a stage");
+        sim.set(a, false);
+        sim.step();
+        assert!(!sim.get(q0));
+        assert!(sim.get(q1));
+    }
+
+    #[test]
+    fn init_values_respected() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let q = n.dff(a, true);
+        let sim = Simulator::new(&n).unwrap();
+        assert!(sim.get(q));
+    }
+
+    #[test]
+    fn bus_roundtrip() {
+        let mut n = Netlist::new();
+        let xb = n.input_bus("x", 8);
+        let reg = n.dff_bus(&xb, false);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_bus_u64(&xb, 0xA5);
+        sim.step();
+        assert_eq!(sim.get_bus_u64(&reg), 0xA5);
+        assert_eq!(
+            sim.get_bus_bits(&reg),
+            [true, false, true, false, false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn run_until_counts_cycles() {
+        // 3-bit counter made of toggles; probe the AND of all bits.
+        let mut n = Netlist::new();
+        let b0 = n.dff_placeholder(false);
+        let d0 = n.not1(b0.q());
+        n.connect_dff(b0, d0);
+        let b1 = n.dff_placeholder(false);
+        let t1 = n.xor2(b1.q(), b0.q());
+        n.connect_dff(b1, t1);
+        let c01 = n.and2(b0.q(), b1.q());
+        let b2 = n.dff_placeholder(false);
+        let t2 = n.xor2(b2.q(), c01);
+        n.connect_dff(b2, t2);
+        let all = n.and2(c01, b2.q());
+        let mut sim = Simulator::new(&n).unwrap();
+        // counter reaches 7 after 7 increments.
+        let cycles = sim.run_until(all, 100).expect("should reach 7");
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn run_until_timeout() {
+        let mut n = Netlist::new();
+        let z = n.zero();
+        let a = n.input("a");
+        let never = n.and2(z, a);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.run_until(never, 10), None);
+    }
+
+    #[test]
+    fn reset_restores_init() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let q = n.dff(a, false);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set(a, true);
+        sim.step();
+        assert!(sim.get(q));
+        assert_eq!(sim.cycles(), 1);
+        sim.reset();
+        assert!(!sim.get(q));
+        assert_eq!(sim.cycles(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Static timing analysis: longest combinational path between timing
+//! endpoints (primary inputs / flip-flop Q → flip-flop D / primary
+//! outputs) under a pluggable delay model.
+//!
+//! The paper's key timing claim is that the systolic array's critical
+//! path is `2·T_FA(cin→cout) + T_HA(cin→cout)` — one regular cell —
+//! *independent of the operand bit length*. [`critical_path`] extracts
+//! exactly that quantity from a generated netlist.
+
+use crate::eval::{topo_order, CombLoop};
+use crate::netlist::{Driver, GateKind, Netlist, SignalId};
+
+/// Maps a gate to a propagation delay.
+pub trait DelayModel {
+    /// Delay contributed by one gate of `kind` with `fanin` inputs, in
+    /// the model's time unit.
+    fn gate_delay(&self, kind: GateKind, fanin: usize) -> f64;
+
+    /// Extra delay charged per signal hop (wire/routing); 0 for pure
+    /// logic-level models.
+    fn net_delay(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Every 2-input gate costs one unit; buffers are free. N-ary gates
+/// cost `n−1` units (their 2-input-tree depth is actually ⌈log2 n⌉, but
+/// cell builders only emit 2-input gates, so this never matters here).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitDelay;
+
+impl DelayModel for UnitDelay {
+    fn gate_delay(&self, kind: GateKind, fanin: usize) -> f64 {
+        match kind {
+            GateKind::Buf => 0.0,
+            GateKind::Not => 1.0,
+            _ => (fanin.saturating_sub(1)).max(1) as f64,
+        }
+    }
+}
+
+/// Result of static timing analysis.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Total delay of the worst path, in model units.
+    pub delay: f64,
+    /// Worst-path depth in (non-buffer) gates.
+    pub levels: usize,
+    /// Signals along the worst path, source first.
+    pub path: Vec<SignalId>,
+    /// Human-readable description of the endpoint.
+    pub endpoint: String,
+}
+
+/// Computes the critical register-to-register (or port-to-port) path.
+///
+/// Returns `Err` if the netlist has a combinational loop. A netlist
+/// with no gates yields a zero-delay path.
+pub fn critical_path<M: DelayModel>(
+    netlist: &Netlist,
+    model: &M,
+) -> Result<CriticalPath, CombLoop> {
+    let order = topo_order(netlist)?;
+    let n_sig = netlist.signal_count();
+    // arrival[s]: worst-case arrival time at signal s.
+    let mut arrival = vec![0.0f64; n_sig];
+    let mut depth = vec![0usize; n_sig];
+    // pred[s]: previous signal along the worst path into s.
+    let mut pred: Vec<Option<SignalId>> = vec![None; n_sig];
+
+    for &gi in &order {
+        let gate = &netlist.gates[gi as usize];
+        let mut worst_in = None;
+        let mut worst_t = f64::NEG_INFINITY;
+        for &inp in &gate.inputs {
+            if arrival[inp.index()] > worst_t {
+                worst_t = arrival[inp.index()];
+                worst_in = Some(inp);
+            }
+        }
+        let d = model.gate_delay(gate.kind, gate.inputs.len()) + model.net_delay();
+        let out = gate.output.index();
+        arrival[out] = worst_t + d;
+        let in_idx = worst_in.expect("gates have inputs").index();
+        depth[out] = depth[in_idx] + usize::from(gate.kind != GateKind::Buf);
+        pred[out] = worst_in;
+    }
+
+    // Endpoints: D and enable inputs of every FF, plus primary outputs.
+    let mut worst: Option<(f64, SignalId, String)> = None;
+    let mut consider = |t: f64, sig: SignalId, what: String| {
+        if worst.as_ref().map_or(true, |(wt, _, _)| t > *wt) {
+            worst = Some((t, sig, what));
+        }
+    };
+    for (i, dff) in netlist.dffs().iter().enumerate() {
+        if let Some(d) = dff.d {
+            consider(arrival[d.index()], d, format!("dff[{i}].d"));
+        }
+        if let Some(en) = dff.enable {
+            consider(arrival[en.index()], en, format!("dff[{i}].en"));
+        }
+        if let Some(clr) = dff.sync_clear {
+            consider(arrival[clr.index()], clr, format!("dff[{i}].clr"));
+        }
+    }
+    for (name, sig) in netlist.outputs() {
+        consider(arrival[sig.index()], *sig, format!("output {name}"));
+    }
+
+    let (delay, end_sig, endpoint) = match worst {
+        Some(w) => w,
+        None => {
+            return Ok(CriticalPath {
+                delay: 0.0,
+                levels: 0,
+                path: Vec::new(),
+                endpoint: "(no endpoints)".into(),
+            })
+        }
+    };
+
+    // Walk predecessors back to a source.
+    let mut path = vec![end_sig];
+    let mut cur = end_sig;
+    while let Some(p) = pred[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+
+    Ok(CriticalPath {
+        delay,
+        levels: depth[end_sig.index()],
+        path,
+        endpoint,
+    })
+}
+
+/// Describes where a path starts (for reports).
+pub fn describe_source(netlist: &Netlist, sig: SignalId) -> String {
+    match netlist.driver(sig) {
+        Driver::Zero => "const 0".into(),
+        Driver::One => "const 1".into(),
+        Driver::Input(i) => format!("input {}", netlist.inputs()[i as usize].0),
+        Driver::Dff(i) => format!("dff[{i}].q"),
+        Driver::Gate(i) => format!("gate[{i}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::{full_adder, half_adder, ripple_adder, CarryStyle};
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn empty_netlist_zero_delay() {
+        let n = Netlist::new();
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert_eq!(cp.delay, 0.0);
+        assert_eq!(cp.levels, 0);
+    }
+
+    #[test]
+    fn single_gate_depth_one() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.and2(a, b);
+        n.expose_output("y", y);
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert_eq!(cp.delay, 1.0);
+        assert_eq!(cp.levels, 1);
+        assert_eq!(cp.endpoint, "output y");
+    }
+
+    #[test]
+    fn ripple_carry_depth_grows_linearly() {
+        // The whole point of the systolic design is to avoid this:
+        // a w-bit ripple adder's critical path grows with w.
+        let depths: Vec<usize> = [4usize, 8, 16]
+            .iter()
+            .map(|&w| {
+                let mut n = Netlist::new();
+                let a = n.input_bus("a", w);
+                let b = n.input_bus("b", w);
+                let cin = n.zero();
+                let (sum, cout) = ripple_adder(&mut n, CarryStyle::XorMux, &a, &b, cin);
+                n.expose_output("cout", cout);
+                n.expose_output_bus("s", &sum);
+                critical_path(&n, &UnitDelay).unwrap().levels
+            })
+            .collect();
+        assert!(depths[0] < depths[1] && depths[1] < depths[2]);
+    }
+
+    #[test]
+    fn register_bounded_path_is_constant() {
+        // Pipelined chain: FF -> FA -> FF repeated; reg-to-reg path
+        // stays one FA deep no matter how many stages.
+        for stages in [1usize, 4, 16] {
+            let mut n = Netlist::new();
+            let mut carry = n.input("c0");
+            let a = n.input("a");
+            let b = n.input("b");
+            for _ in 0..stages {
+                let (s, c) = full_adder(&mut n, CarryStyle::XorMux, a, b, carry);
+                let _sq = n.dff(s, false);
+                carry = n.dff(c, false);
+            }
+            n.expose_output("carry", carry);
+            let cp = critical_path(&n, &UnitDelay).unwrap();
+            // XorMux FA longest: axb -> and(cin,axb) -> or = 3 levels.
+            assert_eq!(cp.levels, 3, "stages={stages}");
+        }
+    }
+
+    #[test]
+    fn path_endpoint_is_ff_d_input() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let (s, _c) = half_adder(&mut n, a, b);
+        let _q = n.dff(s, false);
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert!(cp.endpoint.starts_with("dff[0].d"), "{}", cp.endpoint);
+        assert_eq!(cp.levels, 1);
+    }
+
+    #[test]
+    fn enable_counts_as_endpoint() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let en1 = n.and2(a, b);
+        let en2 = n.and2(en1, a);
+        let q = n.dff_en(a, en2, false);
+        let _ = q;
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert_eq!(cp.levels, 2);
+        assert!(cp.endpoint.contains(".en"), "{}", cp.endpoint);
+    }
+
+    #[test]
+    fn buffers_are_free() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b1 = n.buf(a);
+        let b2 = n.buf(b1);
+        n.expose_output("y", b2);
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert_eq!(cp.delay, 0.0);
+        assert_eq!(cp.levels, 0);
+    }
+
+    #[test]
+    fn path_reconstruction_reaches_source() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let t1 = n.xor2(a, b);
+        let t2 = n.and2(t1, a);
+        let t3 = n.or2(t2, b);
+        n.expose_output("y", t3);
+        let cp = critical_path(&n, &UnitDelay).unwrap();
+        assert_eq!(cp.path.len(), 4, "src + 3 gate outputs");
+        let src = describe_source(&n, cp.path[0]);
+        assert!(src.starts_with("input"), "{src}");
+    }
+}

@@ -1,0 +1,115 @@
+//! RSA key generation.
+
+use mmm_bigint::Ubig;
+use rand::Rng;
+
+/// An RSA key pair. The private members (`d`, `p`, `q`, CRT exponents)
+/// are kept in the struct for the decryption paths; a production
+/// library would zeroize them.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// Modulus `N = p·q`.
+    pub n: Ubig,
+    /// Public exponent `E`.
+    pub e: Ubig,
+    /// Private exponent `D = E⁻¹ mod lcm(p−1, q−1)`.
+    pub d: Ubig,
+    /// Prime factor `p`.
+    pub p: Ubig,
+    /// Prime factor `q`.
+    pub q: Ubig,
+    /// CRT exponent `d mod (p−1)`.
+    pub dp: Ubig,
+    /// CRT exponent `d mod (q−1)`.
+    pub dq: Ubig,
+    /// CRT coefficient `q⁻¹ mod p`.
+    pub qinv: Ubig,
+}
+
+impl RsaKeyPair {
+    /// Generates a key pair with a modulus of exactly `bits` bits
+    /// (`bits/2`-bit primes with their two top bits set, the standard
+    /// construction).
+    ///
+    /// # Panics
+    /// Panics if `bits < 16` or `bits` is odd.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize, mr_rounds: usize) -> RsaKeyPair {
+        assert!(bits >= 16 && bits % 2 == 0, "modulus size must be even and ≥ 16");
+        let e = Ubig::from(65537u64);
+        loop {
+            let p = Ubig::random_prime(rng, bits / 2, mr_rounds);
+            let q = Ubig::random_prime(rng, bits / 2, mr_rounds);
+            if p == q {
+                continue;
+            }
+            let one = Ubig::one();
+            let p1 = &p - &one;
+            let q1 = &q - &one;
+            let lambda = p1.lcm(&q1);
+            // e must be invertible mod λ(N).
+            let Some(d) = e.modinv(&lambda) else {
+                continue;
+            };
+            let n = &p * &q;
+            debug_assert_eq!(n.bit_len(), bits, "top-two-bits-set primes");
+            let dp = d.rem(&p1);
+            let dq = d.rem(&q1);
+            let qinv = q.modinv(&p).expect("p, q distinct primes");
+            return RsaKeyPair {
+                n,
+                e,
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            };
+        }
+    }
+
+    /// Modulus bit length.
+    pub fn bits(&self) -> usize {
+        self.n.bit_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_key_invariants() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = RsaKeyPair::generate(&mut rng, 64, 12);
+        assert_eq!(kp.bits(), 64);
+        assert_eq!(&kp.p * &kp.q, kp.n);
+        assert!(kp.n.is_odd());
+        // e·d ≡ 1 (mod λ)
+        let lambda = (&kp.p - &Ubig::one()).lcm(&(&kp.q - &Ubig::one()));
+        assert_eq!((&kp.e * &kp.d).rem(&lambda), Ubig::one());
+        // CRT pieces.
+        assert_eq!(kp.dp, kp.d.rem(&(&kp.p - &Ubig::one())));
+        assert_eq!((&kp.qinv * &kp.q).rem(&kp.p), Ubig::one());
+    }
+
+    #[test]
+    fn textbook_identity_holds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = RsaKeyPair::generate(&mut rng, 48, 12);
+        for _ in 0..5 {
+            let m = Ubig::random_below(&mut rng, &kp.n);
+            let c = m.modpow(&kp.e, &kp.n);
+            assert_eq!(c.modpow(&kp.d, &kp.n), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = RsaKeyPair::generate(&mut rng, 33, 4);
+    }
+}

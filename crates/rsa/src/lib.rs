@@ -1,0 +1,22 @@
+//! # mmm-rsa — RSA on the systolic Montgomery exponentiator
+//!
+//! The paper's §4.5 application: RSA encryption/decryption as repeated
+//! Montgomery multiplication (Algorithm 3). This crate provides key
+//! generation (Miller–Rabin primes, `E = 65537`,
+//! `D = E⁻¹ mod lcm(p−1, q−1)` — the paper's private-exponent
+//! convention), and encryption/decryption over **any** [`MontMul`]
+//! engine, so the same keys run on the software reference, the
+//! behavioral wave model, or the gate-level MMMC simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod keys;
+pub mod signing;
+
+pub use cipher::{decrypt, decrypt_crt, encrypt};
+pub use keys::RsaKeyPair;
+pub use signing::{decrypt_blinded, sign, verify};
+
+pub use mmm_core::traits::MontMul;

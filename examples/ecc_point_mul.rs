@@ -1,0 +1,56 @@
+//! ECC point multiplication over GF(p) — the paper's stated future
+//! work (§5) — with every field multiplication routed through the
+//! cycle-accurate Montgomery engine, so the example also reports the
+//! hardware cycle budget of a scalar multiplication.
+//!
+//! ```sh
+//! cargo run --release --example ecc_point_mul
+//! ```
+
+use montgomery_systolic::bigint::Ubig;
+use montgomery_systolic::core::montgomery::MontgomeryParams;
+use montgomery_systolic::core::wave::WaveMmmc;
+use montgomery_systolic::ecc::{Curve, FieldCtx};
+
+fn main() {
+    // A 61-bit prime field (fits the demo; the architecture is
+    // width-generic). p = 2^61 - 1 is the Mersenne prime M61.
+    let p = Ubig::pow2(61) - Ubig::one();
+    let params = MontgomeryParams::hardware_safe(&p);
+    println!(
+        "field GF(p), p = {p} ({} bits) -> datapath width l = {}",
+        p.bit_len(),
+        params.l()
+    );
+
+    // Field arithmetic on the cycle-accurate wave engine.
+    let mut f = FieldCtx::new(WaveMmmc::new(params));
+
+    // y² = x³ + 2x + 3: lift the first x that lands on the curve.
+    let curve = Curve::new(&mut f, &Ubig::from(2u64), &Ubig::from(3u64));
+    let g = (1u64..)
+        .find_map(|x| curve.lift_x(&mut f, &Ubig::from(x)))
+        .expect("some small x lifts");
+    let (gx, gy) = curve.to_affine(&mut f, &g).unwrap();
+    println!("base point G = ({gx}, {gy})");
+
+    let cycles_before = f.consumed_cycles().unwrap();
+    let k = Ubig::from(0xDEAD_BEEF_CAFEu64);
+    let kg = curve.scalar_mul(&mut f, &k, &g);
+    let (x, y) = curve.to_affine(&mut f, &kg).expect("not the identity");
+    let cycles = f.consumed_cycles().unwrap() - cycles_before;
+    println!("[k]G for k = {k}:");
+    println!("  = ({x}, {y})");
+    println!("simulated hardware cycles for the scalar multiplication: {cycles}");
+
+    // Sanity: the group law. [k]G + G = [k+1]G.
+    let kg1 = curve.add(&mut f, &kg, &g);
+    let direct = curve.scalar_mul(&mut f, &(&k + &Ubig::one()), &g);
+    assert_eq!(
+        curve.to_affine(&mut f, &kg1),
+        curve.to_affine(&mut f, &direct),
+        "group law"
+    );
+    assert!(curve.contains(&mut f, &kg), "result stays on the curve");
+    println!("group-law check [k]G + G = [k+1]G ✓");
+}
