@@ -122,7 +122,11 @@ pub fn bp_modexp(engine: &mut BlumPaarEngine, m: &Ubig, e: &Ubig) -> Ubig {
     let n = engine.params.n().clone();
     assert!(m < &n, "message must be < N");
     if e.is_zero() {
-        return if n.is_one() { Ubig::zero() } else { Ubig::one() };
+        return if n.is_one() {
+            Ubig::zero()
+        } else {
+            Ubig::one()
+        };
     }
     let r2 = engine.r2_mod_n();
     let mbar = engine.mont_mul(m, &r2);

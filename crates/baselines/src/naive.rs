@@ -144,8 +144,7 @@ mod tests {
         // as l grows its chained carry trees lose to the systolic
         // array's flat 4-level cycle.
         let timing = VirtexETiming::default();
-        let systolic =
-            |l: usize| mmm_core::cost::mmm_cycles(l) as f64 * timing.clock_period(4, l);
+        let systolic = |l: usize| mmm_core::cost::mmm_cycles(l) as f64 * timing.clock_period(4, l);
         assert!(
             naive_mmm_time_ns(32, &timing) < systolic(32),
             "naive should win at l=32"

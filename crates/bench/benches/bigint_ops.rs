@@ -41,9 +41,11 @@ fn bench_bigint(c: &mut Criterion) {
             bch.iter(|| black_box(&base).modpow(black_box(&e), &n))
         });
         let ctx = mmm_bigint::WordMontgomery::new(&n);
-        group.bench_with_input(BenchmarkId::new("modpow_montgomery", bits), &bits, |bch, _| {
-            bch.iter(|| ctx.modpow(black_box(&base), black_box(&e)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("modpow_montgomery", bits),
+            &bits,
+            |bch, _| bch.iter(|| ctx.modpow(black_box(&base), black_box(&e))),
+        );
     }
     group.finish();
 }

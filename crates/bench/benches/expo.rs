@@ -6,9 +6,9 @@ use mmm_baselines::blum_paar::{bp_modexp, BlumPaarEngine};
 use mmm_bench::table1::balanced_exponent;
 use mmm_bigint::Ubig;
 use mmm_core::expo::ModExp;
+use mmm_core::expo_window::WindowedModExp;
 use mmm_core::modgen::random_safe_params;
 use mmm_core::traits::SoftwareEngine;
-use mmm_core::expo_window::WindowedModExp;
 use mmm_core::wave::WaveMmmc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

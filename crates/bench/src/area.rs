@@ -85,7 +85,16 @@ pub fn ff_comparison(widths: &[usize]) -> Vec<FfRow> {
                 let y = nl.input_bus("y", l + 1);
                 let n = nl.input_bus("n", l);
                 let _ = build_into_styled(
-                    &mut nl, l, CarryStyle::XorMux, style, x, v, c, Some(ph), &y, &n,
+                    &mut nl,
+                    l,
+                    CarryStyle::XorMux,
+                    style,
+                    x,
+                    v,
+                    c,
+                    Some(ph),
+                    &y,
+                    &n,
                 );
                 AreaReport::of(&nl).dff
             };

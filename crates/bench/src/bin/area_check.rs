@@ -6,7 +6,16 @@ use mmm_bench::{area, cells, textable::TexTable};
 fn main() {
     let rows = area::compute(&[8, 16, 32, 64, 128, 256, 512, 1024]);
     let mut t = TexTable::new(&[
-        "l", "FA style", "XOR", "AND", "OR", "paper XOR", "paper AND", "paper OR", "FF", "crit.levels",
+        "l",
+        "FA style",
+        "XOR",
+        "AND",
+        "OR",
+        "paper XOR",
+        "paper AND",
+        "paper OR",
+        "FF",
+        "crit.levels",
     ]);
     for r in &rows {
         t.row(cells![
@@ -22,7 +31,9 @@ fn main() {
             r.critical_levels,
         ]);
     }
-    println!("Section 4.3 — systolic array area census vs paper formula (5l-3)XOR+(7l-7)AND+(4l-5)OR");
+    println!(
+        "Section 4.3 — systolic array area census vs paper formula (5l-3)XOR+(7l-7)AND+(4l-5)OR"
+    );
     println!("{}", t.render());
     println!("Majority FA decomposition reproduces the paper's leading coefficients exactly;");
     println!("constant offsets (<= 3 gates) come from edge-cell accounting.");

@@ -1,0 +1,101 @@
+//! Batch-vs-sequential host throughput comparison, emitting
+//! `BENCH_batch.json`.
+//!
+//! Measures, at l ∈ {256, 512, 1024}:
+//!
+//! * 64 sequential multiplications on the packed wave model
+//!   (`PackedMmmc`, the previous fastest engine), and
+//! * one 64-lane bit-sliced batch (`BitSlicedBatch`),
+//!
+//! and reports multiplications per second plus the speedup. Run with
+//! `cargo run --release -p mmm-bench --bin compare_batch`.
+
+use mmm_bigint::Ubig;
+use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
+use mmm_core::modgen::{random_operand, random_safe_params};
+use mmm_core::traits::{BatchMontMul, MontMul};
+use mmm_core::wave_packed::PackedMmmc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Row {
+    l: usize,
+    seq_ns_per_mul: f64,
+    batch_ns_per_mul: f64,
+    speedup: f64,
+}
+
+/// Runs `f` repeatedly for at least `budget_ms`, returning mean
+/// nanoseconds per call.
+fn time_ns_per_call(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < budget {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_nanos() as f64 / calls as f64
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let mut rows = Vec::new();
+
+    println!("batch vs sequential packed wave model ({MAX_LANES} lanes)");
+    println!(
+        "{:>6} {:>16} {:>16} {:>9}",
+        "l", "seq ns/mul", "batch ns/mul", "speedup"
+    );
+    for l in [256usize, 512, 1024] {
+        let params = random_safe_params(&mut rng, l);
+        let xs: Vec<Ubig> = (0..MAX_LANES)
+            .map(|_| random_operand(&mut rng, &params))
+            .collect();
+        let ys: Vec<Ubig> = (0..MAX_LANES)
+            .map(|_| random_operand(&mut rng, &params))
+            .collect();
+
+        let mut packed = PackedMmmc::new(params.clone());
+        let seq_ns = time_ns_per_call(1500, || {
+            for (x, y) in xs.iter().zip(&ys) {
+                black_box(packed.mont_mul(black_box(x), black_box(y)));
+            }
+        }) / MAX_LANES as f64;
+
+        let mut batch = BitSlicedBatch::new(params.clone());
+        let batch_ns = time_ns_per_call(1500, || {
+            black_box(batch.mont_mul_batch(black_box(&xs), black_box(&ys)));
+        }) / MAX_LANES as f64;
+
+        let speedup = seq_ns / batch_ns;
+        println!("{l:>6} {seq_ns:>16.1} {batch_ns:>16.1} {speedup:>8.2}x");
+        rows.push(Row {
+            l,
+            seq_ns_per_mul: seq_ns,
+            batch_ns_per_mul: batch_ns,
+            speedup,
+        });
+    }
+
+    // Hand-rolled JSON (no serde in the sanctioned dependency set).
+    let mut json = String::from("{\n  \"bench\": \"batch_vs_sequential_packed\",\n");
+    json.push_str(&format!("  \"lanes\": {MAX_LANES},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"l\": {}, \"seq_ns_per_mul\": {:.1}, \"batch_ns_per_mul\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.l,
+            r.seq_ns_per_mul,
+            r.batch_ns_per_mul,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("\nwrote BENCH_batch.json");
+}

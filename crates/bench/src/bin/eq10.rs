@@ -11,10 +11,17 @@ fn main() {
         &[8, 16, 32, 64, 128, 256, 512, 1024]
     };
     let rows = eq10::compute(widths);
-    let mut t = TexTable::new(&["l", "exponent", "lower bound", "measured", "upper bound", "within"]);
+    let mut t = TexTable::new(&[
+        "l",
+        "exponent",
+        "lower bound",
+        "measured",
+        "upper bound",
+        "within",
+    ]);
     for r in &rows {
-        let within = r.measured <= r.upper
-            && r.measured + 2 * mmm_core::cost::mmm_cycles(r.l) >= r.lower;
+        let within =
+            r.measured <= r.upper && r.measured + 2 * mmm_core::cost::mmm_cycles(r.l) >= r.lower;
         t.row(cells![
             r.l,
             r.exponent,
@@ -26,5 +33,7 @@ fn main() {
     }
     println!("Eq. (10) — modular exponentiation cycle bounds");
     println!("{}", t.render());
-    println!("measured = engine-counted in-loop multiplications x (3l+4) + paper pre/post accounting");
+    println!(
+        "measured = engine-counted in-loop multiplications x (3l+4) + paper pre/post accounting"
+    );
 }

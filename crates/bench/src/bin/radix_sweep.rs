@@ -18,5 +18,8 @@ fn main() {
     println!("Radix sweep at l = 1024 (functionally validated at l = 24 per radix)");
     println!("{}", t.render());
     let best = radix::best(&rows);
-    println!("sweet spot: alpha = {} ({:.3} us)", best.alpha, best.tmmm_us);
+    println!(
+        "sweet spot: alpha = {} ({:.3} us)",
+        best.alpha, best.tmmm_us
+    );
 }

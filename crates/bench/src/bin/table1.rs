@@ -10,7 +10,14 @@ fn main() {
     let measure_up_to = if cfg!(debug_assertions) { 128 } else { 1024 };
     let rows = table1::compute(measure_up_to);
     let mut t = TexTable::new(&[
-        "l", "Tp ns", "paper Tp", "err%", "model ms", "measured ms", "paper ms", "err%",
+        "l",
+        "Tp ns",
+        "paper Tp",
+        "err%",
+        "model ms",
+        "measured ms",
+        "paper ms",
+        "err%",
     ]);
     for r in &rows {
         t.row(cells![

@@ -15,7 +15,10 @@ fn main() {
             r.l,
             r.slices,
             r.paper_slices,
-            format!("{:+.1}", rel_err_pct(r.slices as f64, r.paper_slices as f64)),
+            format!(
+                "{:+.1}",
+                rel_err_pct(r.slices as f64, r.paper_slices as f64)
+            ),
             format!("{:.3}", r.tp_ns),
             format!("{:.3}", r.paper_tp),
             format!("{:.0}", r.ta),
@@ -24,7 +27,11 @@ fn main() {
             format!("{:.3}", r.tmmm_us),
             format!("{:.3}", r.paper_tmmm),
             format!("{:+.1}", rel_err_pct(r.tmmm_us, r.paper_tmmm)),
-            if r.gate_measured { "gate-level" } else { "wave-model" },
+            if r.gate_measured {
+                "gate-level"
+            } else {
+                "wave-model"
+            },
         ]);
     }
     println!("Table 2 — MMMC implementation results (Xilinx V812E-BG-560-8 model)");

@@ -54,8 +54,9 @@ pub fn compute(widths: &[usize]) -> Vec<Row> {
             let stats = me.stats();
             // In-loop multiplications measured by the engine:
             let loop_muls = stats.squarings + stats.multiplications;
-            let measured =
-                cost::precompute_cycles(l) + loop_muls * cost::mmm_cycles(l) + cost::postprocess_cycles(l);
+            let measured = cost::precompute_cycles(l)
+                + loop_muls * cost::mmm_cycles(l)
+                + cost::postprocess_cycles(l);
             let paper_accounting = cost::modexp_cycles_for_exponent(l, &e);
             rows.push(Row {
                 l,
@@ -119,10 +120,7 @@ mod tests {
             if row.exponent == "all-ones" {
                 // 2l−2 mults vs the bound's 2l: within 2 mults.
                 let gap = row.upper - row.measured;
-                assert!(
-                    gap <= 2 * mmm_core::cost::mmm_cycles(row.l),
-                    "gap {gap}"
-                );
+                assert!(gap <= 2 * mmm_core::cost::mmm_cycles(row.l), "gap {gap}");
             }
         }
     }

@@ -86,9 +86,7 @@ mod tests {
         let rows = compute(256, &[1]);
         // The generic schedule formula differs from the MMMC's 3l+4 by
         // the two wave-vs-cell bookkeeping cycles.
-        let diff = rows[0]
-            .cycles
-            .abs_diff(mmm_core::cost::mmm_cycles(256));
+        let diff = rows[0].cycles.abs_diff(mmm_core::cost::mmm_cycles(256));
         assert!(diff <= 3, "radix-1 cycles within bookkeeping slack: {diff}");
     }
 }

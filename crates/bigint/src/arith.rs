@@ -22,9 +22,9 @@ impl Ubig {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = false;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s, c) = adc(long[i], b, carry);
+            let (s, c) = adc(a, b, carry);
             out.push(s);
             carry = c;
         }
@@ -298,7 +298,12 @@ mod tests {
 
     #[test]
     fn mul_small_matches_u128() {
-        for (a, b) in [(0u128, 5), (7, 9), (u64::MAX as u128, 2), (123456789, 987654321)] {
+        for (a, b) in [
+            (0u128, 5),
+            (7, 9),
+            (u64::MAX as u128, 2),
+            (123456789, 987654321),
+        ] {
             assert_eq!(&ub(a) * &ub(b), ub(a * b), "a={a} b={b}");
         }
     }
@@ -319,7 +324,9 @@ mod tests {
         for i in 0..60u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
             a_limbs.push(state);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(i * 7 + 1);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i * 7 + 1);
             b_limbs.push(state);
         }
         let a = Ubig::from_limbs(a_limbs);

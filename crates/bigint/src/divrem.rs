@@ -75,7 +75,10 @@ fn knuth_d(u: &Ubig, v: &Ubig) -> (Ubig, Ubig) {
         let (mut qhat, mut rhat) = if hi >= v_top {
             // qhat would overflow a limb; clamp to B-1. (hi == v_top is
             // the only reachable case given normalization.)
-            (Limb::MAX, (((hi as u128) << LIMB_BITS | lo as u128) - (Limb::MAX as u128) * (v_top as u128)) as u128)
+            (
+                Limb::MAX,
+                (((hi as u128) << LIMB_BITS | lo as u128) - (Limb::MAX as u128) * (v_top as u128)),
+            )
         } else {
             let (qh, rh) = div2by1(hi, lo, v_top);
             (qh, rh as u128)
@@ -83,8 +86,7 @@ fn knuth_d(u: &Ubig, v: &Ubig) -> (Ubig, Ubig) {
         // Refine: while qhat * v_next exceeds the two-limb remainder
         // estimate, decrement (at most twice in theory).
         while rhat <= Limb::MAX as u128
-            && (qhat as u128) * (v_next as u128)
-                > ((rhat << LIMB_BITS) | un[j + n - 2] as u128)
+            && (qhat as u128) * (v_next as u128) > ((rhat << LIMB_BITS) | un[j + n - 2] as u128)
         {
             qhat -= 1;
             rhat += v_top as u128;

@@ -126,7 +126,13 @@ mod tests {
 
     #[test]
     fn dec_roundtrip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455",
+        ] {
             assert_eq!(Ubig::from_dec(s).unwrap().to_dec(), s);
         }
     }

@@ -43,7 +43,9 @@ pub mod modular;
 pub mod montgomery_word;
 pub mod prime;
 pub mod random;
+pub mod transpose;
 pub mod ubig;
 
 pub use montgomery_word::WordMontgomery;
+pub use transpose::{lanes_to_slices, slices_to_lanes, transpose64};
 pub use ubig::Ubig;

@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn neg_inv_pow2_is_montgomery_nprime() {
         // For odd N, N * N' ≡ -1 (mod 2^k).
-        for (n, k) in [(97u128, 8usize), (0xF123456789abcdf1, 64), (3, 2), (1, 4)] {
+        for (n, k) in [(97u128, 8usize), (0xf123456789abcdf1, 64), (3, 2), (1, 4)] {
             let n = ub(n);
             let nprime = n.neg_inv_pow2(k);
             let prod = (&n * &nprime).low_bits(k);

@@ -65,11 +65,11 @@ impl WordMontgomery {
 
         // t has s+2 limbs: accumulator of the CIOS recurrence.
         let mut t = vec![0 as Limb; s + 2];
-        for i in 0..s {
+        for &xi in xl.iter().take(s) {
             // t += x_i * y
             let mut carry = 0 as Limb;
             for j in 0..s {
-                let (lo, hi) = mac(xl[i], yl[j], t[j], carry);
+                let (lo, hi) = mac(xi, yl[j], t[j], carry);
                 t[j] = lo;
                 carry = hi;
             }
@@ -201,9 +201,6 @@ mod tests {
         let b = Ubig::pow2(190) + &ub(11);
         let am = ctx.to_mont(&a);
         let bm = ctx.to_mont(&b);
-        assert_eq!(
-            ctx.from_mont(&ctx.mont_mul(&am, &bm)),
-            a.modmul(&b, &n)
-        );
+        assert_eq!(ctx.from_mont(&ctx.mont_mul(&am, &bm)), a.modmul(&b, &n));
     }
 }

@@ -1,0 +1,206 @@
+//! Bit-matrix lane transposition for the bit-sliced batch engine.
+//!
+//! The batch engine (`mmm-core::batch`) stores the state of up to 64
+//! *independent* Montgomery multiplications transposed: one `u64` per
+//! bit *position*, whose bit `k` belongs to lane `k`. This module
+//! converts between that layout and ordinary [`Ubig`] operands:
+//!
+//! * [`lanes_to_slices`] — `out[j]` holds bit `j` of every lane
+//!   (bit `k` of `out[j]` = bit `j` of `values[k]`);
+//! * [`slices_to_lanes`] — the inverse;
+//! * [`transpose64`] — the underlying in-place 64×64 bit-matrix
+//!   transpose (the recursive block-swap network of Hacker's Delight
+//!   §7-3, six levels of masked swaps).
+//!
+//! Both conversions work limb-at-a-time through `transpose64`, so a
+//! full 64-lane × 1024-bit conversion is ~16 block transposes — noise
+//! next to the `3l+4` simulated cycles it feeds.
+
+use crate::limbs::LIMB_BITS;
+use crate::ubig::Ubig;
+
+/// Maximum number of lanes a `u64` bit-slice can carry.
+pub const LANES: usize = 64;
+
+/// In-place 64×64 bit-matrix transpose: afterwards, bit `j` of `a[i]`
+/// is the old bit `i` of `a[j]`.
+pub fn transpose64(a: &mut [u64; 64]) {
+    // Swap progressively smaller off-diagonal blocks: 32×32 halves,
+    // then 16×16 quarters within each half, … down to single bits.
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    loop {
+        let mut k = 0usize;
+        while k < 64 {
+            if k & j == 0 {
+                let t = ((a[k] >> j) ^ a[k + j]) & m;
+                a[k] ^= t << j;
+                a[k + j] ^= t;
+            }
+            k += 1;
+        }
+        j >>= 1;
+        if j == 0 {
+            break;
+        }
+        m ^= m << j;
+    }
+}
+
+/// Transposes up to 64 lane operands into per-bit-position slices,
+/// writing into a caller-provided buffer of length `width`
+/// (allocation-free; used by the batch engine's reusable state).
+///
+/// # Panics
+/// Panics if more than 64 lanes are given, if `out.len() != width`, or
+/// if any value needs more than `width` bits.
+pub fn lanes_to_slices_into(values: &[Ubig], width: usize, out: &mut [u64]) {
+    assert!(values.len() <= LANES, "at most {LANES} lanes");
+    assert_eq!(out.len(), width, "output buffer must have `width` slots");
+    for (k, v) in values.iter().enumerate() {
+        assert!(
+            v.bit_len() <= width,
+            "lane {k} has {} bits but the slice width is {width}",
+            v.bit_len()
+        );
+    }
+    let mut block = [0u64; LANES];
+    for (b, chunk) in out.chunks_mut(LIMB_BITS).enumerate() {
+        block.fill(0);
+        for (k, v) in values.iter().enumerate() {
+            block[k] = v.limbs().get(b).copied().unwrap_or(0);
+        }
+        transpose64(&mut block);
+        chunk.copy_from_slice(&block[..chunk.len()]);
+    }
+}
+
+/// Transposes up to 64 lane operands into per-bit-position slices:
+/// bit `k` of `result[j]` is bit `j` of `values[k]`.
+pub fn lanes_to_slices(values: &[Ubig], width: usize) -> Vec<u64> {
+    let mut out = vec![0u64; width];
+    lanes_to_slices_into(values, width, &mut out);
+    out
+}
+
+/// Inverse of [`lanes_to_slices`]: rebuilds `lanes` operands from
+/// per-bit-position slices (lane `k`'s bit `j` is bit `k` of
+/// `slices[j]`).
+///
+/// # Panics
+/// Panics if more than 64 lanes are requested.
+pub fn slices_to_lanes(slices: &[u64], lanes: usize) -> Vec<Ubig> {
+    assert!(lanes <= LANES, "at most {LANES} lanes");
+    let blocks = slices.len().div_ceil(LIMB_BITS);
+    let mut limbs: Vec<Vec<u64>> = vec![vec![0; blocks]; lanes];
+    let mut block = [0u64; LANES];
+    for b in 0..blocks {
+        let base = b * LIMB_BITS;
+        let n = (slices.len() - base).min(LIMB_BITS);
+        block[..n].copy_from_slice(&slices[base..base + n]);
+        block[n..].fill(0);
+        transpose64(&mut block);
+        for (k, lane_limbs) in limbs.iter_mut().enumerate() {
+            lane_limbs[b] = block[k];
+        }
+    }
+    limbs.into_iter().map(Ubig::from_limbs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transpose64_identity_patterns() {
+        // Identity matrix is its own transpose.
+        let mut a = [0u64; 64];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = 1 << i;
+        }
+        let orig = a;
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+
+        // Row 3 set ↔ column 3 set.
+        let mut a = [0u64; 64];
+        a[3] = u64::MAX;
+        transpose64(&mut a);
+        for (i, &v) in a.iter().enumerate() {
+            assert_eq!(v, 1 << 3, "row {i}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) indexes two matrices
+    fn transpose64_is_involutive_and_correct() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let mut a = [0u64; 64];
+            for v in a.iter_mut() {
+                *v = rand::Rng::gen(&mut rng);
+            }
+            let orig = a;
+            transpose64(&mut a);
+            for i in 0..64 {
+                for j in 0..64 {
+                    assert_eq!((a[i] >> j) & 1, (orig[j] >> i) & 1, "({i},{j})");
+                }
+            }
+            transpose64(&mut a);
+            assert_eq!(a, orig, "involution");
+        }
+    }
+
+    #[test]
+    fn lane_roundtrip_across_widths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for width in [1usize, 5, 63, 64, 65, 128, 130, 1026] {
+            for lanes in [1usize, 3, 63, 64] {
+                let values: Vec<Ubig> = (0..lanes)
+                    .map(|_| Ubig::random_bits(&mut rng, width))
+                    .collect();
+                let slices = lanes_to_slices(&values, width);
+                assert_eq!(slices.len(), width);
+                let back = slices_to_lanes(&slices, lanes);
+                assert_eq!(back, values, "width={width} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_layout_matches_definition() {
+        let values = vec![Ubig::from(0b101u64), Ubig::from(0b011u64)];
+        let s = lanes_to_slices(&values, 3);
+        // Position 0: lane0 bit0=1, lane1 bit0=1 → 0b11.
+        assert_eq!(s[0], 0b11);
+        // Position 1: lane0 bit1=0, lane1 bit1=1 → 0b10.
+        assert_eq!(s[1], 0b10);
+        // Position 2: lane0 bit2=1, lane1 bit2=0 → 0b01.
+        assert_eq!(s[2], 0b01);
+    }
+
+    #[test]
+    fn unused_lanes_are_zero() {
+        let values = vec![Ubig::from(u64::MAX)];
+        let s = lanes_to_slices(&values, 64);
+        for (j, &w) in s.iter().enumerate() {
+            assert_eq!(w, 1, "position {j} must only carry lane 0");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits but the slice width")]
+    fn rejects_oversized_lane() {
+        let _ = lanes_to_slices(&[Ubig::from(16u64)], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn rejects_too_many_lanes() {
+        let values: Vec<Ubig> = (0..65).map(|i| Ubig::from(i as u64)).collect();
+        let _ = lanes_to_slices(&values, 8);
+    }
+}

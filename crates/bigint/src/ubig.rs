@@ -79,7 +79,7 @@ impl Ubig {
 
     /// True iff the lowest bit is 0 (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// True iff the lowest bit is 1.
@@ -91,7 +91,7 @@ impl Ubig {
     pub fn bit(&self, i: usize) -> bool {
         self.limbs
             .get(i / LIMB_BITS)
-            .map_or(false, |l| (l >> (i % LIMB_BITS)) & 1 == 1)
+            .is_some_and(|l| (l >> (i % LIMB_BITS)) & 1 == 1)
     }
 
     /// Sets bit `i` to `value`.
@@ -231,10 +231,7 @@ mod tests {
         let v = Ubig::from(0b1011_0110u64);
         let bits = v.to_bits_le(8);
         assert_eq!(Ubig::from_bits_le(&bits), v);
-        assert_eq!(
-            bits,
-            [false, true, true, false, true, true, false, true]
-        );
+        assert_eq!(bits, [false, true, true, false, true, true, false, true]);
     }
 
     #[test]

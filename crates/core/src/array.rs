@@ -69,6 +69,8 @@ pub struct ArrayOutputs {
 /// control/data inputs supplied by the caller (the MMMC datapath wires
 /// the X register's LSB to `x_in`, the controller to
 /// `valid_in`/`clear`, and the Y/N registers to `y`/`n`).
+// The argument list mirrors the array's hardware ports one-to-one.
+#[allow(clippy::too_many_arguments)]
 pub fn build_into(
     nl: &mut Netlist,
     l: usize,
@@ -123,13 +125,13 @@ pub fn build_into_styled(
     // T register bits 1..=l+1 (index i in the vec = bit i+1).
     let t_reg: Vec<_> = (0..=l).map(|_| nl.dff_placeholder(false)).collect();
     let t_q = |j: usize| t_reg[j - 1].q(); // j in 1..=l+1
-    // Carry registers.
+                                           // Carry registers.
     let c0_reg: Vec<_> = (0..l).map(|_| nl.dff_placeholder(false)).collect(); // C0[0..=l-1]
     let c1_reg: Vec<_> = (0..l - 1).map(|_| nl.dff_placeholder(false)).collect(); // C1[1..=l-1]
     let c1_q = |j: usize| c1_reg[j - 1].q(); // j in 1..=l-1
-    // Pipelines. PerCell: index i in vec = cell i+1 (cells 1..=l).
-    // SharedPair: index k in vec = pair k+1 (pair k serves cells
-    // 2k-1 and 2k), loading only on phase (injection) cycles.
+                                             // Pipelines. PerCell: index i in vec = cell i+1 (cells 1..=l).
+                                             // SharedPair: index k in vec = pair k+1 (pair k serves cells
+                                             // 2k-1 and 2k), loading only on phase (injection) cycles.
     let n_pipe = match pipeline {
         PipelineStyle::PerCell => l,
         PipelineStyle::SharedPair => l.div_ceil(2),

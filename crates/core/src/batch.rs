@@ -1,0 +1,449 @@
+//! Bit-sliced batch engine: up to 64 **independent** Montgomery
+//! multiplications advancing in lockstep, one cell equation pass per
+//! simulated clock cycle.
+//!
+//! [`crate::wave_packed::PackedMmmc`] packs 64 *cells of one
+//! multiplication* into each `u64`; this engine transposes the layout
+//! and packs *the same cell of 64 multiplications* instead: `t[j]`,
+//! `c0[j]` and `c1[j]` are each a single `u64` whose bit `k` belongs
+//! to lane `k`. The lane dimension then rides the machine word for
+//! free: the cell recurrences become straight-line word ops over
+//! position `j` with **no carry chains between words** — the
+//! neighbour wiring (`t_{j+1}`, `c_{j-1}`) is array indexing, not
+//! sub-word shifting — and the edge cells are ordinary lane-word
+//! expressions, no scalar bit patching.
+//!
+//! ## The wave band
+//!
+//! Every dependency of cell `j` at cycle `τ` (digit from `j+1`,
+//! carries from `j-1`, all latched one cycle earlier) preserves the
+//! **wave coordinate** `σ = τ − j`. The array therefore decomposes
+//! into independent diagonal waves, and only waves with `σ` even and
+//! `0 ≤ σ/2 ≤ l+1` ever have their T-writes enabled by the valid
+//! pipeline — odd-`σ` state is a dead lattice and `σ/2 > l+1` waves
+//! are the drain junk the valid bit exists to suppress. The simulator
+//! exploits this analytically instead of replaying it:
+//!
+//! * per cycle it touches only the live band
+//!   `j ∈ [max(1, τ−2l−2), min(l, τ)]`, `j ≡ τ (mod 2)` — ~`l²`
+//!   position updates per multiplication instead of the packed
+//!   model's `3l²`;
+//! * the `xp`/`vp` pipelines collapse into closed form (`xp[j]` at
+//!   cycle `τ` is operand bit `(τ−j)/2`; the enable is identically 1
+//!   inside the band), and the `mp` pipeline becomes `m_even`, a
+//!   history of the rightmost cell's `m` outputs indexed by wave;
+//! * updates are in place: within a cycle, writes land on live-parity
+//!   slots while reads come from opposite-parity slots, so no double
+//!   buffering and no pipeline shifting at all.
+//!
+//! All 64 lanes share the modulus `N` (the multi-user serving shape:
+//! one key, many requests) but have independent `x`/`y` operands. The
+//! hot loop is allocation-free: every buffer lives in the engine and
+//! is reused across batches, in the same spirit as
+//! [`crate::wave_packed::PackedWaveArray::step`].
+//!
+//! Lane-for-lane, results are bit-identical to a solo
+//! [`crate::wave_packed::PackedMmmc`] run — asserted by the module
+//! tests and by `tests/batch_engine.rs` at the workspace root. For
+//! workloads wider than 64 lanes, [`mont_mul_many`] shards across
+//! engines with rayon.
+
+use crate::montgomery::MontgomeryParams;
+use crate::traits::{BatchMontMul, MontMul};
+use mmm_bigint::transpose::{lanes_to_slices_into, slices_to_lanes};
+use mmm_bigint::Ubig;
+use rayon::prelude::*;
+
+/// Lanes one engine advances per simulated cycle (bits in a word).
+pub const MAX_LANES: usize = 64;
+
+/// The bit-sliced batch engine. State layout: every vector has `l + 2`
+/// positions (the systolic array's digit positions), each a lane word.
+#[derive(Debug, Clone)]
+pub struct BitSlicedBatch {
+    params: MontgomeryParams,
+    l: usize,
+    /// Modulus broadcast: `n_pos[j]` is all-ones iff bit `j` of `N` is
+    /// set (every lane shares `N`).
+    n_pos: Vec<u64>,
+    /// Transposed operands for the current batch.
+    x_pos: Vec<u64>,
+    y_pos: Vec<u64>,
+    // Array registers, transposed (slot j = cell j, bit k = lane k).
+    t: Vec<u64>,
+    c0: Vec<u64>,
+    c1: Vec<u64>,
+    /// `m_even[u]` is the rightmost cell's `m` lane word from cycle
+    /// `2u` — the only `m` values the live wave lattice ever consumes.
+    m_even: Vec<u64>,
+    total_cycles: u64,
+}
+
+impl BitSlicedBatch {
+    /// Creates an engine for `params` (same hardware-safety contract
+    /// as the other array engines).
+    pub fn new(params: MontgomeryParams) -> Self {
+        assert!(
+            params.is_hardware_safe(),
+            "modulus is not hardware-safe at width l={}",
+            params.l()
+        );
+        let l = params.l();
+        let w = l + 2;
+        let mut n_pos = vec![0u64; w];
+        for (j, slot) in n_pos.iter_mut().enumerate().take(l) {
+            if params.n().bit(j) {
+                *slot = u64::MAX;
+            }
+        }
+        BitSlicedBatch {
+            params,
+            l,
+            n_pos,
+            x_pos: vec![0; w],
+            y_pos: vec![0; w],
+            t: vec![0; w],
+            c0: vec![0; w],
+            c1: vec![0; w],
+            m_even: vec![0; w],
+            total_cycles: 0,
+        }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &MontgomeryParams {
+        &self.params
+    }
+
+    /// Loads a batch of operands and clears the array registers.
+    fn load(&mut self, xs: &[Ubig], ys: &[Ubig]) {
+        let w = self.l + 2;
+        lanes_to_slices_into(xs, w, &mut self.x_pos);
+        lanes_to_slices_into(ys, w, &mut self.y_pos);
+        self.t.fill(0);
+        self.c0.fill(0);
+        self.c1.fill(0);
+        self.m_even.fill(0);
+    }
+
+    /// Runs one batch of up to 64 multiplications and returns the
+    /// per-lane results with the cycle count (`3l + 4`, identical to
+    /// every other array engine — the batch dimension is free).
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched lengths, more than
+    /// [`MAX_LANES`] lanes, or any operand `≥ 2N`.
+    pub fn mont_mul_batch_counted(&mut self, xs: &[Ubig], ys: &[Ubig]) -> (Vec<Ubig>, u64) {
+        assert!(!xs.is_empty(), "empty batch");
+        assert_eq!(xs.len(), ys.len(), "operand count mismatch");
+        assert!(xs.len() <= MAX_LANES, "at most {MAX_LANES} lanes");
+        for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
+            assert!(
+                self.params.check_operand(x) && self.params.check_operand(y),
+                "lane {k}: operands must be < 2N"
+            );
+        }
+        let l = self.l;
+        self.load(xs, ys);
+        run_wave(
+            l,
+            &self.x_pos,
+            &self.y_pos,
+            &self.n_pos,
+            &mut self.t,
+            &mut self.c0,
+            &mut self.c1,
+            &mut self.m_even,
+        );
+        let cycles = (3 * l + 4) as u64;
+        self.total_cycles += cycles;
+        (slices_to_lanes(&self.t[1..=l + 1], xs.len()), cycles)
+    }
+}
+
+/// The full `3l + 3`-step wave-band simulation (see the module docs):
+/// per cycle, only the live diagonal band of cells is evaluated, in
+/// place. A free function on slice parameters on purpose:
+/// parameter-level `&`/`&mut` references carry `noalias` guarantees
+/// into LLVM, which is what lets the band loop auto-vectorize (as
+/// field borrows inside a method the buffers are mutually unprovable
+/// aliases and the vectorizer gives up).
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn run_wave(
+    l: usize,
+    x_pos: &[u64],
+    y: &[u64],
+    n: &[u64],
+    t: &mut [u64],
+    c0: &mut [u64],
+    c1: &mut [u64],
+    m_even: &mut [u64],
+) {
+    // Explicit common length so every index below is provably in
+    // bounds (band j ≤ l, wave index (τ−j)/2 ≤ l+1 < w).
+    let w = l + 2;
+    let (x_pos, y, n) = (&x_pos[..w], &y[..w], &n[..w]);
+    let t = &mut t[..w];
+    let c0 = &mut c0[..w];
+    let c1 = &mut c1[..w];
+    let m_even = &mut m_even[..w];
+
+    for tau in 0..=(3 * l + 2) {
+        // Rightmost cell (position 0): derives m from T feedback and
+        // seeds the first carry. Only its even-cycle outputs are ever
+        // consumed by the live lattice, and only while operand bits
+        // are still being injected.
+        if tau % 2 == 0 && tau / 2 <= l + 1 {
+            let xy0 = x_pos[tau / 2] & y[0];
+            m_even[tau / 2] = t[1] ^ xy0;
+            c0[0] = t[1] | xy0;
+        }
+
+        // Live band of regular cells: j ≡ τ (mod 2), wave offset
+        // σ = τ − j even in [0, 2(l+1)], and 1 ≤ j ≤ l − 1 (position
+        // 1 is the first-bit cell, but with c1[0] pinned to zero the
+        // regular equations degrade to exactly its HA form; position
+        // l is the leftmost cell, special-cased below).
+        let j_lo = {
+            let lo = tau.saturating_sub(2 * l + 2).max(1);
+            lo + ((lo ^ tau) & 1)
+        };
+        let j_hi = {
+            let hi = (l - 1).min(tau);
+            // One below if parity mismatches (j_hi may underflow the
+            // band entirely; the range check below handles that).
+            hi.wrapping_sub((hi ^ tau) & 1)
+        };
+        let mut j = j_lo;
+        while j <= j_hi && j_hi < w {
+            // u is the wave index: operand bit and m value feeding
+            // this cell. In-place updates are safe: reads (j±1) come
+            // from opposite-parity slots no live cell writes this
+            // cycle.
+            let u = (tau - j) / 2;
+            let t_in = t[j + 1];
+            let c0_in = c0[j - 1];
+            let c1_in = c1[j - 1];
+            let a = x_pos[u] & y[j];
+            let b = m_even[u] & n[j];
+            let s1 = t_in ^ a ^ b;
+            let k1 = (t_in & a) | (t_in & b) | (a & b);
+            t[j] = s1 ^ c0_in;
+            let k2 = s1 & c0_in;
+            c0[j] = k1 ^ c1_in ^ k2;
+            c1[j] = (k1 & c1_in) | (k1 & k2) | (c1_in & k2);
+            j += 2;
+        }
+
+        // Leftmost cell (position l): live when its wave offset is
+        // even and still a real (valid) wave. No m·n term (n_l = 0);
+        // produces the two top digits.
+        if tau >= l && (tau - l).is_multiple_of(2) && (tau - l) / 2 <= l + 1 {
+            let u = (tau - l) / 2;
+            let a = x_pos[u] & y[l];
+            let t_in = t[l + 1];
+            let c0_in = c0[l - 1];
+            t[l] = t_in ^ a ^ c0_in;
+            let carry = (t_in & a) | (t_in & c0_in) | (a & c0_in);
+            t[l + 1] = carry ^ c1[l - 1];
+        }
+    }
+}
+
+impl BatchMontMul for BitSlicedBatch {
+    fn params(&self) -> &MontgomeryParams {
+        &self.params
+    }
+
+    fn max_lanes(&self) -> usize {
+        MAX_LANES
+    }
+
+    fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+        self.mont_mul_batch_counted(xs, ys).0
+    }
+
+    fn consumed_cycles(&self) -> Option<u64> {
+        Some(self.total_cycles)
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-sliced batch (64 lanes)"
+    }
+}
+
+/// Adapter running a scalar [`MontMul`] engine lane by lane behind the
+/// [`BatchMontMul`] interface — the baseline the bit-sliced engine is
+/// benchmarked against, and a correctness cross-check.
+#[derive(Debug, Clone)]
+pub struct SequentialBatch<E: MontMul> {
+    engine: E,
+}
+
+impl<E: MontMul> SequentialBatch<E> {
+    /// Wraps a scalar engine.
+    pub fn new(engine: E) -> Self {
+        SequentialBatch { engine }
+    }
+}
+
+impl<E: MontMul> BatchMontMul for SequentialBatch<E> {
+    fn params(&self) -> &MontgomeryParams {
+        self.engine.params()
+    }
+
+    fn max_lanes(&self) -> usize {
+        usize::MAX
+    }
+
+    fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+        assert_eq!(xs.len(), ys.len(), "operand count mismatch");
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| self.engine.mont_mul(x, y))
+            .collect()
+    }
+
+    fn consumed_cycles(&self) -> Option<u64> {
+        self.engine.consumed_cycles()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential batch adapter"
+    }
+}
+
+/// Montgomery-multiplies an arbitrary number of lane pairs by sharding
+/// them into 64-lane batches and fanning the batches out across cores
+/// with rayon (each shard gets its own engine; results keep input
+/// order).
+pub fn mont_mul_many(params: &MontgomeryParams, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+    assert_eq!(xs.len(), ys.len(), "operand count mismatch");
+    let shards: Vec<(&[Ubig], &[Ubig])> = xs.chunks(MAX_LANES).zip(ys.chunks(MAX_LANES)).collect();
+    shards
+        .into_par_iter()
+        .map(|(sx, sy)| BitSlicedBatch::new(params.clone()).mont_mul_batch(sx, sy))
+        .collect::<Vec<Vec<Ubig>>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modgen::{random_operand, random_safe_params};
+    use crate::montgomery::mont_mul_alg2;
+    use crate::wave_packed::PackedMmmc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_lane_matches_solo_packed_engine() {
+        let mut rng = StdRng::seed_from_u64(201);
+        for l in [3usize, 8, 31, 63, 64, 65, 130] {
+            let p = random_safe_params(&mut rng, l);
+            let lanes = 64.min(2 * l);
+            let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let mut batch = BitSlicedBatch::new(p.clone());
+            let (got, cycles) = batch.mont_mul_batch_counted(&xs, &ys);
+            assert_eq!(cycles, (3 * l + 4) as u64);
+            let mut solo = PackedMmmc::new(p.clone());
+            for k in 0..lanes {
+                assert_eq!(
+                    got[k],
+                    solo.mont_mul(&xs[k], &ys[k]),
+                    "lane {k} diverged at l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_batches_match_reference() {
+        let mut rng = StdRng::seed_from_u64(202);
+        let p = random_safe_params(&mut rng, 48);
+        let mut batch = BitSlicedBatch::new(p.clone());
+        for lanes in [1usize, 3, 63, 64] {
+            let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let got = batch.mont_mul_batch(&xs, &ys);
+            assert_eq!(got.len(), lanes);
+            for k in 0..lanes {
+                assert_eq!(
+                    got[k],
+                    mont_mul_alg2(&p, &xs[k], &ys[k]),
+                    "lanes={lanes} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_across_batches() {
+        let mut rng = StdRng::seed_from_u64(203);
+        let p = random_safe_params(&mut rng, 20);
+        let mut batch = BitSlicedBatch::new(p.clone());
+        for round in 0..5 {
+            let xs: Vec<Ubig> = (0..7).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..7).map(|_| random_operand(&mut rng, &p)).collect();
+            let got = batch.mont_mul_batch(&xs, &ys);
+            for k in 0..7 {
+                assert_eq!(got[k], mont_mul_alg2(&p, &xs[k], &ys[k]), "round {round}");
+            }
+        }
+        assert_eq!(batch.consumed_cycles(), Some(5 * (3 * 20 + 4)));
+    }
+
+    #[test]
+    fn sequential_adapter_agrees_with_batch() {
+        let mut rng = StdRng::seed_from_u64(204);
+        let p = random_safe_params(&mut rng, 33);
+        let xs: Vec<Ubig> = (0..10).map(|_| random_operand(&mut rng, &p)).collect();
+        let ys: Vec<Ubig> = (0..10).map(|_| random_operand(&mut rng, &p)).collect();
+        let mut seq = SequentialBatch::new(PackedMmmc::new(p.clone()));
+        let mut bat = BitSlicedBatch::new(p.clone());
+        assert_eq!(seq.mont_mul_batch(&xs, &ys), bat.mont_mul_batch(&xs, &ys));
+    }
+
+    #[test]
+    fn sharded_many_handles_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(205);
+        let p = random_safe_params(&mut rng, 16);
+        for count in [1usize, 64, 65, 200] {
+            let xs: Vec<Ubig> = (0..count).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..count).map(|_| random_operand(&mut rng, &p)).collect();
+            let got = mont_mul_many(&p, &xs, &ys);
+            assert_eq!(got.len(), count);
+            for k in 0..count {
+                assert_eq!(
+                    got[k],
+                    mont_mul_alg2(&p, &xs[k], &ys[k]),
+                    "count={count} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn rejects_oversized_batch() {
+        let mut rng = StdRng::seed_from_u64(206);
+        let p = random_safe_params(&mut rng, 8);
+        let xs: Vec<Ubig> = (0..65).map(|_| random_operand(&mut rng, &p)).collect();
+        let ys = xs.clone();
+        let _ = BitSlicedBatch::new(p).mont_mul_batch(&xs, &ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must be < 2N")]
+    fn rejects_out_of_range_operand() {
+        let mut rng = StdRng::seed_from_u64(207);
+        let p = random_safe_params(&mut rng, 8);
+        let bad = p.two_n();
+        let _ = BitSlicedBatch::new(p.clone())
+            .mont_mul_batch(std::slice::from_ref(&bad), std::slice::from_ref(&bad));
+    }
+}

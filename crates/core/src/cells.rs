@@ -97,6 +97,8 @@ pub struct CellSignals {
 }
 
 /// Builds a regular cell (Fig. 1a): two FAs, one HA, two ANDs.
+// The argument list mirrors the cell's hardware ports one-to-one.
+#[allow(clippy::too_many_arguments)]
 pub fn regular_cell(
     nl: &mut Netlist,
     style: CarryStyle,
@@ -134,6 +136,8 @@ pub fn rightmost_cell(
 }
 
 /// Builds the first-bit cell (Fig. 1c): one FA, two HAs, two ANDs.
+// The argument list mirrors the cell's hardware ports one-to-one.
+#[allow(clippy::too_many_arguments)]
 pub fn first_bit_cell(
     nl: &mut Netlist,
     style: CarryStyle,
@@ -185,9 +189,24 @@ pub struct CellCost {
 }
 
 impl CellCost {
-    fn from_blocks(fa: usize, ha: usize, and: usize, xor: usize, or: usize, style: CarryStyle) -> Self {
-        let AdderCost { xor: fx, and: fa_and, or: fo } = style.fa_cost();
-        let AdderCost { xor: hx, and: ha_and, or: ho } = style.ha_cost();
+    fn from_blocks(
+        fa: usize,
+        ha: usize,
+        and: usize,
+        xor: usize,
+        or: usize,
+        style: CarryStyle,
+    ) -> Self {
+        let AdderCost {
+            xor: fx,
+            and: fa_and,
+            or: fo,
+        } = style.fa_cost();
+        let AdderCost {
+            xor: hx,
+            and: ha_and,
+            or: ho,
+        } = style.ha_cost();
         CellCost {
             xor: fa * fx + ha * hx + xor,
             and: fa * fa_and + ha * ha_and + and,
@@ -254,9 +273,7 @@ mod tests {
         FCheck: Fn(&[bool]) -> Vec<bool>,
     {
         let mut nl = Netlist::new();
-        let inputs: Vec<SignalId> = (0..n_inputs)
-            .map(|i| nl.input(&format!("i{i}")))
-            .collect();
+        let inputs: Vec<SignalId> = (0..n_inputs).map(|i| nl.input(&format!("i{i}"))).collect();
         let outputs = build(&mut nl, &inputs);
         let mut sim = Simulator::new(&nl).unwrap();
         for pattern in 0u32..(1 << n_inputs) {
@@ -281,8 +298,7 @@ mod tests {
                     vec![s.t, s.c0, s.c1]
                 },
                 |b| {
-                    let (t, c0, c1) =
-                        regular_behavior(b[0], b[1], b[2], b[3], b[4], b[5], b[6]);
+                    let (t, c0, c1) = regular_behavior(b[0], b[1], b[2], b[3], b[4], b[5], b[6]);
                     vec![t, c0, c1]
                 },
             );
@@ -326,8 +342,9 @@ mod tests {
         for style in [CarryStyle::XorMux, CarryStyle::Majority] {
             let mut nl = Netlist::new();
             let inputs: Vec<SignalId> = (0..5).map(|i| nl.input(&format!("i{i}"))).collect();
-            let (t, t_hi) =
-                leftmost_cell(&mut nl, style, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+            let (t, t_hi) = leftmost_cell(
+                &mut nl, style, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4],
+            );
             let mut sim = Simulator::new(&nl).unwrap();
             for pattern in 0u32..32 {
                 let b: Vec<bool> = (0..5).map(|k| (pattern >> k) & 1 == 1).collect();
@@ -364,7 +381,11 @@ mod tests {
             let _ = regular_cell(&mut nl, style, i[0], i[1], i[2], i[3], i[4], i[5], i[6]);
             let a = AreaReport::of(&nl);
             let c = CellCost::regular(style);
-            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "regular {style:?}");
+            assert_eq!(
+                (a.xor, a.and, a.or),
+                (c.xor, c.and, c.or),
+                "regular {style:?}"
+            );
 
             // Rightmost.
             let mut nl = Netlist::new();
@@ -380,7 +401,11 @@ mod tests {
             let _ = first_bit_cell(&mut nl, style, i[0], i[1], i[2], i[3], i[4], i[5]);
             let a = AreaReport::of(&nl);
             let c = CellCost::first_bit(style);
-            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "first-bit {style:?}");
+            assert_eq!(
+                (a.xor, a.and, a.or),
+                (c.xor, c.and, c.or),
+                "first-bit {style:?}"
+            );
 
             // Leftmost.
             let mut nl = Netlist::new();
@@ -388,7 +413,11 @@ mod tests {
             let _ = leftmost_cell(&mut nl, style, i[0], i[1], i[2], i[3], i[4]);
             let a = AreaReport::of(&nl);
             let c = CellCost::leftmost(style);
-            assert_eq!((a.xor, a.and, a.or), (c.xor, c.and, c.or), "leftmost {style:?}");
+            assert_eq!(
+                (a.xor, a.and, a.or),
+                (c.xor, c.and, c.or),
+                "leftmost {style:?}"
+            );
         }
     }
 

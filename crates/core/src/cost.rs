@@ -147,7 +147,10 @@ mod tests {
             // Single top bit: l−1 mults.
             let single = Ubig::pow2(l - 1);
             let c = modexp_cycles_for_exponent(l, &single);
-            assert!(c <= hi && c >= lo.saturating_sub(2 * mmm_cycles(l)), "l={l} single");
+            assert!(
+                c <= hi && c >= lo.saturating_sub(2 * mmm_cycles(l)),
+                "l={l} single"
+            );
         }
     }
 

@@ -66,7 +66,11 @@ impl<E: MontMul> ModExp<E> {
         let n = params.n().clone();
         assert!(m < &n, "message must be < N");
         if e.is_zero() {
-            return if n.is_one() { Ubig::zero() } else { Ubig::one() };
+            return if n.is_one() {
+                Ubig::zero()
+            } else {
+                Ubig::one()
+            };
         }
 
         // Pre-computation: M̄ = Mont(M, R² mod N) = M·R mod 2N.

@@ -1,0 +1,346 @@
+//! Batched modular exponentiation: Algorithm 3 over all lanes of a
+//! [`BatchMontMul`] engine at once, with **per-lane exponents**.
+//!
+//! Lanes run in lockstep, so the scan is the *square-and-multiply-
+//! always* variant: every bit position costs one batched squaring and
+//! one batched multiplication, where lanes whose exponent bit is clear
+//! multiply by the Montgomery one (`R mod N`) instead of `M̄` — a
+//! no-op modulo `N` that keeps the wave schedule identical across
+//! lanes. Two useful consequences:
+//!
+//! * within a step, which lanes multiply by `M̄` versus the neutral
+//!   element is invisible in the operation sequence — lanes cannot be
+//!   distinguished from one another;
+//! * lanes with short exponents simply coast: bits above a lane's
+//!   length select the Montgomery one automatically.
+//!
+//! Bit positions where *no* lane has the bit set (common above the
+//! shortest exponent lengths) skip the multiply entirely. Note the
+//! side-channel consequence: the schedule depends on the OR of all
+//! lanes' exponent bits, so a *full* mixed-traffic batch leaks little,
+//! but a single-lane batch degrades to ordinary square-and-multiply
+//! whose operation count follows that lane's exponent (visible in
+//! [`BatchExpoStats::skipped_multiplications`] and
+//! `consumed_cycles`). This engine is a throughput simulator, not a
+//! hardened implementation — side-channel-sensitive paths should use
+//! protocol-level blinding (see `mmm-rsa`'s `decrypt_blinded`).
+//!
+//! [`modexp_many`] extends the batch to arbitrarily many lanes by
+//! sharding into 64-lane groups fanned out with rayon — the
+//! many-client serving path used by `mmm-rsa`'s batched sign/verify.
+
+use crate::batch::{BitSlicedBatch, MAX_LANES};
+use crate::montgomery::MontgomeryParams;
+use crate::traits::BatchMontMul;
+use mmm_bigint::Ubig;
+use rayon::prelude::*;
+
+/// Statistics from one batched exponentiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchExpoStats {
+    /// Batched squarings performed.
+    pub squarings: u64,
+    /// Batched multiplications performed (including the
+    /// multiply-always steps, excluding pre/post transforms).
+    pub multiplications: u64,
+    /// Multiply steps skipped because no lane had the bit set.
+    pub skipped_multiplications: u64,
+    /// Batched Montgomery multiplications total, including pre/post.
+    pub total_batch_muls: u64,
+}
+
+/// A batched modular exponentiator bound to a [`BatchMontMul`] engine.
+#[derive(Debug, Clone)]
+pub struct BatchModExp<E: BatchMontMul> {
+    engine: E,
+    stats: BatchExpoStats,
+}
+
+impl<E: BatchMontMul> BatchModExp<E> {
+    /// Wraps an engine.
+    pub fn new(engine: E) -> Self {
+        BatchModExp {
+            engine,
+            stats: BatchExpoStats::default(),
+        }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &MontgomeryParams {
+        self.engine.params()
+    }
+
+    /// Statistics accumulated since construction.
+    pub fn stats(&self) -> BatchExpoStats {
+        self.stats
+    }
+
+    /// Access to the underlying engine (e.g. for cycle counts).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Computes `ms[k] ^ es[k] mod N` for every lane `k` at once.
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched lengths, more lanes than the
+    /// engine accepts, or any message `≥ N`.
+    pub fn modexp_batch(&mut self, ms: &[Ubig], es: &[Ubig]) -> Vec<Ubig> {
+        assert!(!ms.is_empty(), "empty batch");
+        assert_eq!(ms.len(), es.len(), "message/exponent count mismatch");
+        assert!(
+            ms.len() <= self.engine.max_lanes(),
+            "batch exceeds the engine's {} lanes",
+            self.engine.max_lanes()
+        );
+        let params = self.engine.params().clone();
+        let n = params.n().clone();
+        for (k, m) in ms.iter().enumerate() {
+            assert!(m < &n, "lane {k}: message must be < N");
+        }
+        let lanes = ms.len();
+
+        // Pre-computation: M̄_k = Mont(M_k, R² mod N) = M_k·R mod 2N.
+        let r2 = params.r2_mod_n();
+        let r2s = vec![r2; lanes];
+        let mbars = self.engine.mont_mul_batch(ms, &r2s);
+        self.stats.total_batch_muls += 1;
+
+        // Montgomery one, the neutral multiplier for bit-clear lanes.
+        let one_bar = params.r_mod_n();
+
+        // Square-and-multiply-always from the longest exponent down;
+        // A starts at 1̄ so no per-lane leading-bit special case.
+        let t = es.iter().map(Ubig::bit_len).max().unwrap_or(0);
+        let mut a = vec![one_bar.clone(); lanes];
+        let mut multiplier = vec![one_bar.clone(); lanes];
+        for i in (0..t).rev() {
+            a = self.engine.mont_mul_batch(&a, &a);
+            self.stats.squarings += 1;
+            self.stats.total_batch_muls += 1;
+            let mut any_set = false;
+            for k in 0..lanes {
+                if es[k].bit(i) {
+                    multiplier[k].clone_from(&mbars[k]);
+                    any_set = true;
+                } else {
+                    multiplier[k].clone_from(&one_bar);
+                }
+            }
+            if any_set {
+                a = self.engine.mont_mul_batch(&a, &multiplier);
+                self.stats.multiplications += 1;
+                self.stats.total_batch_muls += 1;
+            } else {
+                self.stats.skipped_multiplications += 1;
+            }
+        }
+
+        // Post-processing: Mont(A, 1) ≤ N, equality only for A ≡ 0.
+        let ones = vec![Ubig::one(); lanes];
+        let out = self.engine.mont_mul_batch(&a, &ones);
+        self.stats.total_batch_muls += 1;
+        out.into_iter()
+            .map(|r| {
+                if r == n {
+                    Ubig::zero()
+                } else {
+                    debug_assert!(r < n, "post-processing bound violated");
+                    r
+                }
+            })
+            .collect()
+    }
+
+    /// Total simulated cycles consumed by the engine, if it counts.
+    pub fn consumed_cycles(&self) -> Option<u64> {
+        self.engine.consumed_cycles()
+    }
+}
+
+/// Modular exponentiation for arbitrarily many lanes: shards into
+/// 64-lane batches, each on its own [`BitSlicedBatch`] engine, fanned
+/// out across cores with rayon. Results keep input order.
+///
+/// # Panics
+/// Panics if `ms` and `es` differ in length or any message is `≥ N`.
+pub fn modexp_many(params: &MontgomeryParams, ms: &[Ubig], es: &[Ubig]) -> Vec<Ubig> {
+    assert_eq!(ms.len(), es.len(), "message/exponent count mismatch");
+    let shards: Vec<(&[Ubig], &[Ubig])> = ms.chunks(MAX_LANES).zip(es.chunks(MAX_LANES)).collect();
+    shards
+        .into_par_iter()
+        .map(|(sm, se)| BatchModExp::new(BitSlicedBatch::new(params.clone())).modexp_batch(sm, se))
+        .collect::<Vec<Vec<Ubig>>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// [`modexp_many`] for the common serving shape where every lane uses
+/// the **same** exponent (one RSA key, many requests): `ms[k] ^ e mod
+/// N` for all `k`. Avoids materializing a per-message copy of `e` —
+/// each 64-lane shard clones it at most 64 times, bounded per worker,
+/// instead of once per queued message.
+///
+/// # Panics
+/// Panics if any message is `≥ N`.
+pub fn modexp_many_shared(params: &MontgomeryParams, ms: &[Ubig], e: &Ubig) -> Vec<Ubig> {
+    let shards: Vec<&[Ubig]> = ms.chunks(MAX_LANES).collect();
+    shards
+        .into_par_iter()
+        .map(|sm| {
+            let es = vec![e.clone(); sm.len()];
+            BatchModExp::new(BitSlicedBatch::new(params.clone())).modexp_batch(sm, &es)
+        })
+        .collect::<Vec<Vec<Ubig>>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::SequentialBatch;
+    use crate::modgen::random_safe_params;
+    use crate::traits::SoftwareEngine;
+    use crate::wave_packed::PackedMmmc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_modexp_matches_modpow_per_lane_exponents() {
+        let mut rng = StdRng::seed_from_u64(301);
+        let p = random_safe_params(&mut rng, 64);
+        let n = p.n().clone();
+        let lanes = 17;
+        let ms: Vec<Ubig> = (0..lanes)
+            .map(|_| Ubig::random_below(&mut rng, &n))
+            .collect();
+        // Exponent lengths vary wildly across lanes, including zero.
+        let es: Vec<Ubig> = (0..lanes)
+            .map(|k| {
+                if k == 0 {
+                    Ubig::zero()
+                } else {
+                    Ubig::random_bits(&mut rng, 1 + 7 * k)
+                }
+            })
+            .collect();
+        let mut me = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+        let got = me.modexp_batch(&ms, &es);
+        for k in 0..lanes {
+            assert_eq!(got[k], ms[k].modpow(&es[k], &n), "lane {k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_scalar_modexp_over_packed_engine() {
+        let mut rng = StdRng::seed_from_u64(302);
+        let p = random_safe_params(&mut rng, 32);
+        let ms: Vec<Ubig> = (0..8)
+            .map(|_| Ubig::random_below(&mut rng, p.n()))
+            .collect();
+        let es: Vec<Ubig> = (0..8).map(|_| Ubig::random_bits(&mut rng, 32)).collect();
+        let mut batch = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+        let got = batch.modexp_batch(&ms, &es);
+        for k in 0..8 {
+            let mut solo = crate::expo::ModExp::new(PackedMmmc::new(p.clone()));
+            assert_eq!(got[k], solo.modexp(&ms[k], &es[k]), "lane {k}");
+        }
+    }
+
+    #[test]
+    fn works_over_any_batch_engine() {
+        // The sequential adapter exercises the trait-genericity.
+        let mut rng = StdRng::seed_from_u64(303);
+        let p = random_safe_params(&mut rng, 24);
+        let ms: Vec<Ubig> = (0..5)
+            .map(|_| Ubig::random_below(&mut rng, p.n()))
+            .collect();
+        let es: Vec<Ubig> = (0..5).map(|_| Ubig::random_bits(&mut rng, 24)).collect();
+        let mut me = BatchModExp::new(SequentialBatch::new(SoftwareEngine::new(p.clone())));
+        let got = me.modexp_batch(&ms, &es);
+        for k in 0..5 {
+            assert_eq!(got[k], ms[k].modpow(&es[k], p.n()), "lane {k}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_multiply_always_schedule() {
+        let mut rng = StdRng::seed_from_u64(304);
+        let p = random_safe_params(&mut rng, 16);
+        let ms = vec![Ubig::from(7u64), Ubig::from(11u64)];
+        // Lane 0: e = 0b101 (3 bits); lane 1: e = 0b1 (1 bit).
+        let es = vec![Ubig::from(0b101u64), Ubig::from(1u64)];
+        let mut me = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+        let got = me.modexp_batch(&ms, &es);
+        assert_eq!(got[0], ms[0].modpow(&es[0], p.n()));
+        assert_eq!(got[1], ms[1].modpow(&es[1], p.n()));
+        let s = me.stats();
+        // 3 bit positions: 3 squarings; bit 1 is clear in both lanes,
+        // so one multiply step is skipped.
+        assert_eq!(s.squarings, 3);
+        assert_eq!(s.multiplications, 2);
+        assert_eq!(s.skipped_multiplications, 1);
+        // pre + 3 + 2 + post.
+        assert_eq!(s.total_batch_muls, 7);
+    }
+
+    #[test]
+    fn zero_exponents_give_one() {
+        let mut rng = StdRng::seed_from_u64(305);
+        let p = random_safe_params(&mut rng, 12);
+        let ms = vec![Ubig::from(5u64), Ubig::zero()];
+        let es = vec![Ubig::zero(), Ubig::zero()];
+        let mut me = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+        assert_eq!(me.modexp_batch(&ms, &es), vec![Ubig::one(), Ubig::one()]);
+    }
+
+    #[test]
+    fn sharded_many_matches_modpow() {
+        let mut rng = StdRng::seed_from_u64(306);
+        let p = random_safe_params(&mut rng, 20);
+        for count in [1usize, 63, 64, 65, 150] {
+            let ms: Vec<Ubig> = (0..count)
+                .map(|_| Ubig::random_below(&mut rng, p.n()))
+                .collect();
+            let es: Vec<Ubig> = (0..count)
+                .map(|_| Ubig::random_bits(&mut rng, 20))
+                .collect();
+            let got = modexp_many(&p, &ms, &es);
+            assert_eq!(got.len(), count);
+            for k in 0..count {
+                assert_eq!(got[k], ms[k].modpow(&es[k], p.n()), "count={count} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_exponent_matches_per_lane_path() {
+        let mut rng = StdRng::seed_from_u64(308);
+        let p = random_safe_params(&mut rng, 20);
+        let e = Ubig::from(65537u64);
+        for count in [1usize, 64, 130] {
+            let ms: Vec<Ubig> = (0..count)
+                .map(|_| Ubig::random_below(&mut rng, p.n()))
+                .collect();
+            let es = vec![e.clone(); count];
+            assert_eq!(
+                modexp_many_shared(&p, &ms, &e),
+                modexp_many(&p, &ms, &es),
+                "count={count}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "message must be < N")]
+    fn rejects_unreduced_message() {
+        let mut rng = StdRng::seed_from_u64(307);
+        let p = random_safe_params(&mut rng, 8);
+        let m = p.n().clone();
+        let _ = BatchModExp::new(BitSlicedBatch::new(p.clone()))
+            .modexp_batch(&[m], &[Ubig::from(2u64)]);
+    }
+}

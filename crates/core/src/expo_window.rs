@@ -55,7 +55,11 @@ impl<E: MontMul> WindowedModExp<E> {
         let n = params.n().clone();
         assert!(m < &n, "message must be < N");
         if e.is_zero() {
-            return if n.is_one() { Ubig::zero() } else { Ubig::one() };
+            return if n.is_one() {
+                Ubig::zero()
+            } else {
+                Ubig::one()
+            };
         }
 
         // Enter the Montgomery domain.
@@ -258,7 +262,10 @@ mod tests {
         // The windowed scan initializes A = 1̄ and consumes the top bit
         // through the generic window path (+1 transform, +1 square,
         // +1 multiply) where Algorithm 3 starts directly at A = M̄.
-        let d = w1.stats().total_mont_muls.abs_diff(bin.stats().total_mont_muls);
+        let d = w1
+            .stats()
+            .total_mont_muls
+            .abs_diff(bin.stats().total_mont_muls);
         assert!(d <= 3, "w=1 should cost like binary (diff {d})");
     }
 }

@@ -16,6 +16,10 @@
 //! 4. **Modular exponentiator** ([`expo`]) — Algorithm 3
 //!    (square-and-multiply) over any engine implementing
 //!    [`traits::MontMul`].
+//! 5. **Bit-sliced batch engine** ([`batch`]) — 64 *independent*
+//!    multiplications per simulated cycle in transposed (lane-sliced)
+//!    state, with [`expo_batch`] running Algorithm 3 over all lanes at
+//!    once and rayon sharding for wider workloads. See `DESIGN.md` §5.
 //!
 //! [`montgomery`] holds the word-independent reference algorithms
 //! (Algorithm 1 with final subtraction and Algorithm 2 without), and
@@ -37,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod batch;
 pub mod cells;
 pub mod controller;
 pub mod cost;
 pub mod expo;
+pub mod expo_batch;
 pub mod expo_window;
 pub mod mmmc;
 pub mod modgen;
@@ -49,9 +55,11 @@ pub mod traits;
 pub mod wave;
 pub mod wave_packed;
 
+pub use batch::BitSlicedBatch;
 pub use expo::ModExp;
+pub use expo_batch::BatchModExp;
 pub use mmmc::Mmmc;
 pub use montgomery::MontgomeryParams;
-pub use traits::MontMul;
+pub use traits::{BatchMontMul, MontMul};
 pub use wave::WaveMmmc;
 pub use wave_packed::PackedMmmc;

@@ -80,16 +80,12 @@ impl Mmmc {
         nl.name(x_lsb, "X(0)");
 
         // Y and N registers: plain parallel load.
-        let y_reg = Bus(
-            (0..=l)
-                .map(|i| nl.dff_en(y_bus.bit(i), ctl.load, false))
-                .collect(),
-        );
-        let n_reg = Bus(
-            (0..l)
-                .map(|i| nl.dff_en(n_bus.bit(i), ctl.load, false))
-                .collect(),
-        );
+        let y_reg = Bus((0..=l)
+            .map(|i| nl.dff_en(y_bus.bit(i), ctl.load, false))
+            .collect());
+        let n_reg = Bus((0..l)
+            .map(|i| nl.dff_en(n_bus.bit(i), ctl.load, false))
+            .collect());
 
         // The systolic array. `load` doubles as the synchronous clear;
         // MUL1 is the injection-phase signal for shared pipelines.
@@ -259,7 +255,11 @@ mod tests {
         for x in 0u64..14 {
             for y in 0u64..14 {
                 let got = engine.mont_mul(&Ubig::from(x), &Ubig::from(y));
-                assert_eq!(got, mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y)), "x={x} y={y}");
+                assert_eq!(
+                    got,
+                    mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y)),
+                    "x={x} y={y}"
+                );
             }
         }
     }
@@ -377,7 +377,12 @@ mod shared_pair_tests {
             // And it is genuinely smaller than the per-cell variant.
             let percell = Mmmc::build(l, CarryStyle::XorMux);
             let area_pc = mmm_hdl::AreaReport::of(&percell.netlist);
-            assert!(area.dff + l <= area_pc.dff, "l={l}: {} vs {}", area.dff, area_pc.dff);
+            assert!(
+                area.dff + l <= area_pc.dff,
+                "l={l}: {} vs {}",
+                area.dff,
+                area_pc.dff
+            );
         }
     }
 

@@ -188,10 +188,7 @@ pub fn mont_mul_alg2(params: &MontgomeryParams, x: &Ubig, y: &Ubig) -> Ubig {
         debug_assert!(!t.bit(0), "sum must be even before halving");
         t = t.shr_bits(1);
     }
-    debug_assert!(
-        params.check_operand(&t),
-        "Walter bound violated: T >= 2N"
-    );
+    debug_assert!(params.check_operand(&t), "Walter bound violated: T >= 2N");
     t
 }
 

@@ -26,6 +26,36 @@ pub trait MontMul {
     fn name(&self) -> &'static str;
 }
 
+/// A Montgomery multiplication engine advancing several **independent**
+/// multiplications per call — the serving-throughput interface.
+///
+/// All lanes share the engine's modulus (`params().n()`); lane `k` of
+/// the result is `mont_mul(xs[k], ys[k])` with the same contract as
+/// [`MontMul`]: `x·y·R⁻¹ (mod N)`, operands and results `< 2N`. Every
+/// lane must be bit-identical to what a scalar engine produces, so the
+/// two interfaces are freely interchangeable.
+pub trait BatchMontMul {
+    /// The engine's fixed parameters (modulus and width).
+    fn params(&self) -> &MontgomeryParams;
+
+    /// Largest batch one call accepts (64 for the bit-sliced engine;
+    /// shard wider workloads, e.g. with
+    /// [`crate::batch::mont_mul_many`]).
+    fn max_lanes(&self) -> usize;
+
+    /// One batch of Montgomery multiplications: lane `k` of the result
+    /// is `xs[k]·ys[k]·R⁻¹ (mod N)`.
+    fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig>;
+
+    /// Total simulated clock cycles consumed so far, if cycle-accurate.
+    fn consumed_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// Engine name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
 /// The software reference engine: Algorithm 2 executed on [`Ubig`]s.
 /// Not cycle-accurate; used as the oracle and as the fast path for
 /// RSA/ECC when hardware fidelity is not needed.

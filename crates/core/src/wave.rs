@@ -111,9 +111,9 @@ impl WaveArray {
 
         // --- Clock edge: registered updates. ---
         // T: write-enabled by the valid pipeline; cell l covers l and l+1.
-        for j in 1..l {
+        for (j, &tn) in t_new.iter().enumerate().take(l).skip(1) {
             if self.vp[j] {
-                self.t[j] = t_new[j];
+                self.t[j] = tn;
             }
         }
         if self.vp[l] {
@@ -231,7 +231,11 @@ mod tests {
         for x in 0u64..14 {
             for y in 0u64..14 {
                 let got = engine.mont_mul(&Ubig::from(x), &Ubig::from(y));
-                assert_eq!(got, mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y)), "x={x} y={y}");
+                assert_eq!(
+                    got,
+                    mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y)),
+                    "x={x} y={y}"
+                );
             }
         }
     }
@@ -293,11 +297,7 @@ mod tests {
             let mut engine = WaveMmmc::new(p.clone());
             let x = Ubig::random_below(&mut rng, &p.two_n());
             let y = Ubig::random_below(&mut rng, &p.two_n());
-            assert_eq!(
-                engine.mont_mul(&x, &y),
-                mont_mul_alg2(&p, &x, &y),
-                "l={l}"
-            );
+            assert_eq!(engine.mont_mul(&x, &y), mont_mul_alg2(&p, &x, &y), "l={l}");
         }
     }
 }

@@ -180,6 +180,11 @@ impl BitWords {
 #[derive(Debug, Clone)]
 pub struct PackedWaveArray {
     l: usize,
+    /// Live words per state vector — hoisted out of [`Self::step`].
+    w: usize,
+    /// Mask of valid bits in the top word — hoisted out of
+    /// [`Self::step`].
+    top_mask: u64,
     y: BitWords,
     n: BitWords,
     t: BitWords,
@@ -190,41 +195,73 @@ pub struct PackedWaveArray {
     vp: BitWords,
 }
 
+/// Stack capacity of [`PackedWaveArray::step`]: supports
+/// `l + 2 ≤ 64·MAX_W`, i.e. l ≤ 4094.
+const MAX_W: usize = 64;
+
 impl PackedWaveArray {
     /// Creates a cleared array for operand `y` (< 2N) and modulus `n`.
     pub fn new(l: usize, y: &Ubig, n: &Ubig) -> Self {
         assert!(l >= 3);
-        let w = l + 2;
-        let mut yb = BitWords::zeros(w);
-        for (i, b) in y.to_bits_le(l + 1).into_iter().enumerate() {
-            yb.set(i, b);
-        }
-        let mut nb = BitWords::zeros(w);
+        let nb = l + 2;
+        let w = nb.div_ceil(64);
+        assert!(w <= MAX_W, "width beyond packed-model stack capacity");
+        let top_mask = if nb.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            u64::MAX >> (64 - nb % 64)
+        };
+        let mut nb_words = BitWords::zeros(nb);
         for (i, b) in n.to_bits_le(l).into_iter().enumerate() {
-            nb.set(i, b);
+            nb_words.set(i, b);
         }
-        PackedWaveArray {
+        let mut arr = PackedWaveArray {
             l,
-            y: yb,
-            n: nb,
-            t: BitWords::zeros(w),
-            c0: BitWords::zeros(w),
-            c1: BitWords::zeros(w),
-            xp: BitWords::zeros(w),
-            mp: BitWords::zeros(w),
-            vp: BitWords::zeros(w),
+            w,
+            top_mask,
+            y: BitWords::zeros(nb),
+            n: nb_words,
+            t: BitWords::zeros(nb),
+            c0: BitWords::zeros(nb),
+            c1: BitWords::zeros(nb),
+            xp: BitWords::zeros(nb),
+            mp: BitWords::zeros(nb),
+            vp: BitWords::zeros(nb),
+        };
+        arr.load_y(y);
+        arr
+    }
+
+    /// Loads operand `y` into the y register word-wise (no allocation).
+    fn load_y(&mut self, y: &Ubig) {
+        assert!(
+            y.bit_len() <= self.l + 1,
+            "y has {} bits but the operand bound is {} bits",
+            y.bit_len(),
+            self.l + 1
+        );
+        let limbs = y.limbs();
+        for (i, word) in self.y.words.iter_mut().enumerate() {
+            *word = limbs.get(i).copied().unwrap_or(0);
         }
     }
 
-    /// Clears all registers.
+    /// Re-arms the array for a new multiplication with operand `y`
+    /// (< 2N), reusing every buffer — the allocation-free counterpart
+    /// of building a fresh array per call.
+    pub fn reset_with(&mut self, y: &Ubig) {
+        self.load_y(y);
+        self.clear();
+    }
+
+    /// Clears all registers (in place; no allocation).
     pub fn clear(&mut self) {
-        let w = self.l + 2;
-        self.t = BitWords::zeros(w);
-        self.c0 = BitWords::zeros(w);
-        self.c1 = BitWords::zeros(w);
-        self.xp = BitWords::zeros(w);
-        self.mp = BitWords::zeros(w);
-        self.vp = BitWords::zeros(w);
+        self.t.words.fill(0);
+        self.c0.words.fill(0);
+        self.c1.words.fill(0);
+        self.xp.words.fill(0);
+        self.mp.words.fill(0);
+        self.vp.words.fill(0);
     }
 
     /// One clock cycle (bit-parallel). The hot path runs entirely on
@@ -232,17 +269,9 @@ impl PackedWaveArray {
     /// actually makes the packed model faster than the per-bit one
     /// (the naive version of this loop spent its time in `malloc`).
     pub fn step(&mut self, x_in: bool, valid_in: bool) {
-        /// Stack capacity: supports `l + 2 ≤ 64·MAX_W`, i.e. l ≤ 4094.
-        const MAX_W: usize = 64;
         let l = self.l;
-        let nb = l + 2;
-        let w = nb.div_ceil(64);
-        assert!(w <= MAX_W, "width beyond packed-model stack capacity");
-        let top_mask = if nb % 64 == 0 {
-            u64::MAX
-        } else {
-            u64::MAX >> (64 - nb % 64)
-        };
+        let w = self.w;
+        let top_mask = self.top_mask;
 
         let getb = |words: &[u64], i: usize| (words[i / 64] >> (i % 64)) & 1 == 1;
         let setb = |words: &mut [u64], i: usize, v: bool| {
@@ -359,6 +388,10 @@ impl PackedWaveArray {
 #[derive(Debug, Clone)]
 pub struct PackedMmmc {
     params: MontgomeryParams,
+    /// The array is built once and re-armed per multiplication with
+    /// [`PackedWaveArray::reset_with`], keeping the multiplication
+    /// path free of heap allocation.
+    arr: PackedWaveArray,
     total_cycles: u64,
 }
 
@@ -371,8 +404,10 @@ impl PackedMmmc {
             "modulus is not hardware-safe at width l={}",
             params.l()
         );
+        let arr = PackedWaveArray::new(params.l(), &Ubig::zero(), params.n());
         PackedMmmc {
             params,
+            arr,
             total_cycles: 0,
         }
     }
@@ -384,14 +419,14 @@ impl PackedMmmc {
             self.params.check_operand(x) && self.params.check_operand(y),
             "operands must be < 2N"
         );
-        let mut arr = PackedWaveArray::new(l, y, self.params.n());
+        self.arr.reset_with(y);
         for tau in 0..=(3 * l + 2) {
             let injecting = tau % 2 == 0 && tau / 2 <= l + 1;
-            arr.step(injecting && x.bit(tau / 2), injecting);
+            self.arr.step(injecting && x.bit(tau / 2), injecting);
         }
         let cycles = (3 * l + 4) as u64;
         self.total_cycles += cycles;
-        (arr.result(), cycles)
+        (self.arr.result(), cycles)
     }
 }
 
@@ -503,6 +538,45 @@ mod tests {
             let (got, cycles) = engine.mont_mul_counted(&x, &y);
             assert_eq!(got, mont_mul_alg2(&p, &x, &y), "l={l}");
             assert_eq!(cycles, (3 * l + 4) as u64);
+        }
+    }
+
+    #[test]
+    fn reset_with_is_equivalent_to_fresh_array() {
+        let mut rng = StdRng::seed_from_u64(94);
+        for l in [5usize, 63, 64, 65, 100] {
+            let p = random_safe_params(&mut rng, l);
+            let y1 = random_operand(&mut rng, &p);
+            let y2 = random_operand(&mut rng, &p);
+            let x = random_operand(&mut rng, &p);
+            // Dirty the reused array with a full multiplication first.
+            let mut reused = PackedWaveArray::new(l, &y1, p.n());
+            for tau in 0..=(3 * l + 2) {
+                let injecting = tau % 2 == 0 && tau / 2 <= l + 1;
+                reused.step(injecting && x.bit(tau / 2), injecting);
+            }
+            reused.reset_with(&y2);
+            let mut fresh = PackedWaveArray::new(l, &y2, p.n());
+            for tau in 0..=(3 * l + 2) {
+                let injecting = tau % 2 == 0 && tau / 2 <= l + 1;
+                let xi = injecting && x.bit(tau / 2);
+                reused.step(xi, injecting);
+                fresh.step(xi, injecting);
+                assert_eq!(reused.t_register(), fresh.t_register(), "l={l} tau={tau}");
+            }
+            assert_eq!(reused.result(), fresh.result(), "l={l}");
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_many_multiplications() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let p = random_safe_params(&mut rng, 40);
+        let mut engine = PackedMmmc::new(p.clone());
+        for _ in 0..10 {
+            let x = random_operand(&mut rng, &p);
+            let y = random_operand(&mut rng, &p);
+            assert_eq!(engine.mont_mul(&x, &y), mont_mul_alg2(&p, &x, &y));
         }
     }
 

@@ -82,8 +82,7 @@ pub fn map_luts(netlist: &Netlist) -> LutMapping {
                 unreachable!()
             };
             let expansion = &cut[src_gate as usize];
-            let mut candidate: Vec<u32> =
-                leaves.iter().copied().filter(|&s| s != target).collect();
+            let mut candidate: Vec<u32> = leaves.iter().copied().filter(|&s| s != target).collect();
             for &leaf in expansion {
                 if !candidate.contains(&leaf) {
                     candidate.push(leaf);
@@ -96,11 +95,7 @@ pub fn map_luts(netlist: &Netlist) -> LutMapping {
             }
         }
 
-        depth[out] = 1 + leaves
-            .iter()
-            .map(|&s| depth[s as usize])
-            .max()
-            .unwrap_or(0);
+        depth[out] = 1 + leaves.iter().map(|&s| depth[s as usize]).max().unwrap_or(0);
         cut[gi as usize] = leaves;
     }
 
@@ -111,7 +106,7 @@ pub fn map_luts(netlist: &Netlist) -> LutMapping {
             required[resolve[s.index()] as usize] = true;
         }
     }
-    for (_, s) in netlist.outputs() {
+    for s in netlist.outputs().values() {
         required[resolve[s.index()] as usize] = true;
     }
 
@@ -142,7 +137,7 @@ pub fn map_luts(netlist: &Netlist) -> LutMapping {
             endpoint_depth = endpoint_depth.max(depth[resolve[s.index()] as usize]);
         }
     }
-    for (_, s) in netlist.outputs() {
+    for s in netlist.outputs().values() {
         endpoint_depth = endpoint_depth.max(depth[resolve[s.index()] as usize]);
     }
 
@@ -300,10 +295,8 @@ mod tests {
 
     #[test]
     fn array_luts_linear_in_l() {
-        let m8 =
-            map_luts(&mmm_core::array::SystolicArray::build(8, CarryStyle::XorMux).netlist);
-        let m64 =
-            map_luts(&mmm_core::array::SystolicArray::build(64, CarryStyle::XorMux).netlist);
+        let m8 = map_luts(&mmm_core::array::SystolicArray::build(8, CarryStyle::XorMux).netlist);
+        let m64 = map_luts(&mmm_core::array::SystolicArray::build(64, CarryStyle::XorMux).netlist);
         let per_bit_8 = m8.luts as f64 / 8.0;
         let per_bit_64 = m64.luts as f64 / 64.0;
         assert!(

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn density_slope_is_clamped_below_calibration_point() {
         let p = SlicePacker::default();
-        assert_eq!(p.efficiency_at(8), p.efficiency_at(32), "no extrapolation below l=32");
+        assert_eq!(
+            p.efficiency_at(8),
+            p.efficiency_at(32),
+            "no extrapolation below l=32"
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ mod tests {
             .collect();
         let min = periods.iter().cloned().fold(f64::MAX, f64::min);
         let max = periods.iter().cloned().fold(f64::MIN, f64::max);
-        assert!((max - min) / min < 0.15, "spread {:.1}%", (max - min) / min * 100.0);
+        assert!(
+            (max - min) / min < 0.15,
+            "spread {:.1}%",
+            (max - min) / min * 100.0
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //!
 //! * [`CarryStyle::XorMux`] — `cout = a·b + cin·(a⊕b)` (re-uses the sum
 //!   XOR; 2 XOR + 2 AND + 1 OR per FA). This is the minimal-gate form.
-//! * [`CarryStyle::Majority`] — `cout = a·b + cin·(a+b)` (2 XOR + 2 AND
-//!   + 2 OR per FA). Counting with this form reproduces the paper's
-//!   `(4l−5) OR` coefficient; see `mmm-bench --bin area_check`.
+//! * [`CarryStyle::Majority`] — `cout = a·b + cin·(a+b)` (2 XOR,
+//!   2 AND and 2 OR per FA). Counting with this form reproduces the
+//!   paper's `(4l−5) OR` coefficient; see `mmm-bench --bin area_check`.
 
 use crate::netlist::{Netlist, SignalId};
 
@@ -39,14 +39,26 @@ impl CarryStyle {
     /// Gate cost of a full adder in this style.
     pub fn fa_cost(self) -> AdderCost {
         match self {
-            CarryStyle::XorMux => AdderCost { xor: 2, and: 2, or: 1 },
-            CarryStyle::Majority => AdderCost { xor: 2, and: 2, or: 2 },
+            CarryStyle::XorMux => AdderCost {
+                xor: 2,
+                and: 2,
+                or: 1,
+            },
+            CarryStyle::Majority => AdderCost {
+                xor: 2,
+                and: 2,
+                or: 2,
+            },
         }
     }
 
     /// Gate cost of a half adder (style-independent).
     pub fn ha_cost(self) -> AdderCost {
-        AdderCost { xor: 1, and: 1, or: 0 }
+        AdderCost {
+            xor: 1,
+            and: 1,
+            or: 0,
+        }
     }
 }
 
@@ -107,10 +119,7 @@ pub fn ripple_adder(
 /// Builds an incrementer (`bus + 1`); returns `(sum_bus, carry_out)`.
 /// Cheaper than a ripple adder: one HA per bit. The carry chain is
 /// linear — use [`incrementer_fast`] where logic depth matters.
-pub fn incrementer(
-    n: &mut Netlist,
-    a: &crate::netlist::Bus,
-) -> (crate::netlist::Bus, SignalId) {
+pub fn incrementer(n: &mut Netlist, a: &crate::netlist::Bus) -> (crate::netlist::Bus, SignalId) {
     let mut carry = n.one();
     let mut sum = Vec::with_capacity(a.width());
     for i in 0..a.width() {

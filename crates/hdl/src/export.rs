@@ -15,12 +15,7 @@ pub fn to_dot(netlist: &Netlist, title: &str) -> String {
     let _ = writeln!(out, "  label=\"{title}\";");
 
     for (name, sig) in netlist.inputs() {
-        let _ = writeln!(
-            out,
-            "  s{} [shape=box, label=\"{}\"];",
-            sig.index(),
-            name
-        );
+        let _ = writeln!(out, "  s{} [shape=box, label=\"{}\"];", sig.index(), name);
     }
     for (gi, gate) in netlist.gates().iter().enumerate() {
         let label = match gate.kind {
@@ -49,12 +44,7 @@ pub fn to_dot(netlist: &Netlist, title: &str) -> String {
             di
         );
         if let Some(d) = dff.d {
-            let _ = writeln!(
-                out,
-                "  s{} -> s{} [style=bold];",
-                d.index(),
-                dff.q.index()
-            );
+            let _ = writeln!(out, "  s{} -> s{} [style=bold];", d.index(), dff.q.index());
         }
         if let Some(en) = dff.enable {
             let _ = writeln!(

@@ -113,14 +113,8 @@ impl<'n> Simulator<'n> {
         for &gi in &self.order {
             let gate = &self.netlist.gates[gi as usize];
             let v = match gate.kind {
-                GateKind::And => gate
-                    .inputs
-                    .iter()
-                    .all(|&s| self.values[s.index()]),
-                GateKind::Or => gate
-                    .inputs
-                    .iter()
-                    .any(|&s| self.values[s.index()]),
+                GateKind::And => gate.inputs.iter().all(|&s| self.values[s.index()]),
+                GateKind::Or => gate.inputs.iter().any(|&s| self.values[s.index()]),
                 GateKind::Xor => gate
                     .inputs
                     .iter()
@@ -137,12 +131,8 @@ impl<'n> Simulator<'n> {
         self.settle();
         // Capture all D inputs before updating any Q (simultaneous edge).
         for (i, dff) in self.netlist.dffs().iter().enumerate() {
-            let clear = dff
-                .sync_clear
-                .is_some_and(|c| self.values[c.index()]);
-            let load = dff
-                .enable
-                .map_or(true, |en| self.values[en.index()]);
+            let clear = dff.sync_clear.is_some_and(|c| self.values[c.index()]);
+            let load = dff.enable.is_none_or(|en| self.values[en.index()]);
             self.next_ff[i] = if clear {
                 dff.init
             } else if load {

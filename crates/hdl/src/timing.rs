@@ -89,7 +89,7 @@ pub fn critical_path<M: DelayModel>(
     // Endpoints: D and enable inputs of every FF, plus primary outputs.
     let mut worst: Option<(f64, SignalId, String)> = None;
     let mut consider = |t: f64, sig: SignalId, what: String| {
-        if worst.as_ref().map_or(true, |(wt, _, _)| t > *wt) {
+        if worst.as_ref().is_none_or(|(wt, _, _)| t > *wt) {
             worst = Some((t, sig, what));
         }
     };

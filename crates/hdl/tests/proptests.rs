@@ -13,9 +13,7 @@ type GateRecipe = (u8, usize, usize);
 /// returns the netlist plus every gate output signal.
 fn build_random(n_inputs: usize, recipes: &[GateRecipe]) -> (Netlist, Vec<SignalId>) {
     let mut nl = Netlist::new();
-    let mut pool: Vec<SignalId> = (0..n_inputs)
-        .map(|i| nl.input(&format!("i{i}")))
-        .collect();
+    let mut pool: Vec<SignalId> = (0..n_inputs).map(|i| nl.input(&format!("i{i}"))).collect();
     let mut outputs = Vec::new();
     for &(kind, a, b) in recipes {
         let sa = pool[a % pool.len()];
@@ -92,11 +90,14 @@ proptest! {
         let cp = mmm_hdl::timing::critical_path(&nl, &UnitDelay).unwrap();
         prop_assert!(cp.levels <= nl.gates().len());
         prop_assert!(cp.delay <= nl.gates().len() as f64);
-        // The path must be well-formed: starts at a source.
+        // The path must be well-formed: path[0] is the source end,
+        // and internal gate outputs always have predecessors to walk
+        // through, so a multi-node path never *starts* at a gate.
         if let Some(&first) = cp.path.first() {
-            prop_assert!(!matches!(nl.driver(first), Driver::Gate(_))
-                || cp.path.len() == 1
-                || true); // path[0] is the source end; gates follow
+            prop_assert!(
+                !matches!(nl.driver(first), Driver::Gate(_)) || cp.path.len() == 1,
+                "critical path starts mid-circuit"
+            );
         }
     }
 

@@ -1,0 +1,116 @@
+//! Batched RSA signing and verification over the bit-sliced batch
+//! engine — the many-client serving path.
+//!
+//! One RSA key serves many requests: all lanes share the modulus `N`,
+//! which is exactly the shape `mmm-core::batch` accelerates (64
+//! signatures advance per simulated cycle; workloads wider than 64
+//! lanes shard across cores via
+//! [`mmm_core::expo_batch::modexp_many_shared`]). Like the scalar
+//! [`crate::signing`] API this is textbook RSA — no hash or padding;
+//! the exercise is the exponentiator, as in the paper.
+
+use crate::keys::RsaKeyPair;
+use mmm_bigint::Ubig;
+use mmm_core::expo_batch::modexp_many_shared;
+use mmm_core::montgomery::MontgomeryParams;
+
+/// Hardware-safe parameters for a key's modulus.
+fn params_for(key: &RsaKeyPair) -> MontgomeryParams {
+    MontgomeryParams::hardware_safe(&key.n)
+}
+
+/// Signs every message (reduced residues): `s_k = m_k ^ D mod N`.
+/// Accepts any number of messages; lanes beyond 64 shard across cores.
+///
+/// # Panics
+/// Panics if any message is `≥ N`.
+pub fn sign_batch(key: &RsaKeyPair, ms: &[Ubig]) -> Vec<Ubig> {
+    modexp_many_shared(&params_for(key), ms, &key.d)
+}
+
+/// Verifies every signature: `s_k ^ E mod N == m_k`.
+///
+/// # Panics
+/// Panics if `ms` and `sigs` differ in length or any signature is
+/// `≥ N`.
+pub fn verify_batch(key: &RsaKeyPair, ms: &[Ubig], sigs: &[Ubig]) -> Vec<bool> {
+    assert_eq!(ms.len(), sigs.len(), "message/signature count mismatch");
+    let recovered = modexp_many_shared(&params_for(key), sigs, &key.e);
+    recovered.iter().zip(ms).map(|(r, m)| r == m).collect()
+}
+
+/// Decrypts every ciphertext: `m_k = c_k ^ D mod N`.
+///
+/// # Panics
+/// Panics if any ciphertext is `≥ N`.
+pub fn decrypt_batch(key: &RsaKeyPair, cs: &[Ubig]) -> Vec<Ubig> {
+    sign_batch(key, cs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signing::{sign, verify};
+    use mmm_core::traits::SoftwareEngine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(bits: usize, seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(&mut rng, bits, 12)
+    }
+
+    #[test]
+    fn batch_signatures_match_scalar_signing() {
+        let kp = keypair(48, 70);
+        let params = MontgomeryParams::hardware_safe(&kp.n);
+        let mut rng = StdRng::seed_from_u64(71);
+        let ms: Vec<Ubig> = (0..9)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let sigs = sign_batch(&kp, &ms);
+        for (k, (m, s)) in ms.iter().zip(&sigs).enumerate() {
+            let scalar = sign(SoftwareEngine::new(params.clone()), &kp, m);
+            assert_eq!(*s, scalar, "lane {k}");
+        }
+    }
+
+    #[test]
+    fn batch_verify_accepts_good_and_rejects_tampered() {
+        let kp = keypair(40, 72);
+        let mut rng = StdRng::seed_from_u64(73);
+        let ms: Vec<Ubig> = (0..6)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let mut sigs = sign_batch(&kp, &ms);
+        assert!(verify_batch(&kp, &ms, &sigs).into_iter().all(|ok| ok));
+        // Tamper with one lane only.
+        sigs[3] = sigs[3].modadd(&Ubig::one(), &kp.n);
+        let verdicts = verify_batch(&kp, &ms, &sigs);
+        for (k, ok) in verdicts.into_iter().enumerate() {
+            assert_eq!(ok, k != 3, "lane {k}");
+        }
+    }
+
+    #[test]
+    fn encrypt_then_batch_decrypt_roundtrip_beyond_64_lanes() {
+        let kp = keypair(32, 74);
+        let mut rng = StdRng::seed_from_u64(75);
+        let ms: Vec<Ubig> = (0..70)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&kp.e, &kp.n)).collect();
+        assert_eq!(decrypt_batch(&kp, &cs), ms);
+    }
+
+    #[test]
+    fn scalar_verify_accepts_batch_signatures() {
+        let kp = keypair(40, 76);
+        let params = MontgomeryParams::hardware_safe(&kp.n);
+        let ms = vec![Ubig::from(123456u64).rem(&kp.n), Ubig::from(42u64)];
+        let sigs = sign_batch(&kp, &ms);
+        for (m, s) in ms.iter().zip(&sigs) {
+            assert!(verify(SoftwareEngine::new(params.clone()), &kp, m, s));
+        }
+    }
+}

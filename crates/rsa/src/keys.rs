@@ -34,7 +34,10 @@ impl RsaKeyPair {
     /// # Panics
     /// Panics if `bits < 16` or `bits` is odd.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize, mr_rounds: usize) -> RsaKeyPair {
-        assert!(bits >= 16 && bits % 2 == 0, "modulus size must be even and ≥ 16");
+        assert!(
+            bits >= 16 && bits.is_multiple_of(2),
+            "modulus size must be even and ≥ 16"
+        );
         let e = Ubig::from(65537u64);
         loop {
             let p = Ubig::random_prime(rng, bits / 2, mr_rounds);

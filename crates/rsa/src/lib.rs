@@ -11,12 +11,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cipher;
 pub mod keys;
 pub mod signing;
 
+pub use batch::{decrypt_batch, sign_batch, verify_batch};
 pub use cipher::{decrypt, decrypt_crt, encrypt};
 pub use keys::RsaKeyPair;
 pub use signing::{decrypt_blinded, sign, verify};
 
-pub use mmm_core::traits::MontMul;
+pub use mmm_core::traits::{BatchMontMul, MontMul};

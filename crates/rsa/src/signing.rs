@@ -111,12 +111,7 @@ mod tests {
         for _ in 0..3 {
             let m = Ubig::random_below(&mut rng, &kp.n);
             let c = m.modpow(&kp.e, &kp.n);
-            let got = decrypt_blinded(
-                || SoftwareEngine::new(params.clone()),
-                &kp,
-                &c,
-                &mut rng,
-            );
+            let got = decrypt_blinded(|| SoftwareEngine::new(params.clone()), &kp, &c, &mut rng);
             assert_eq!(got, m);
         }
     }

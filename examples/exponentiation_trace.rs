@@ -41,7 +41,11 @@ fn trace_one_multiplication() {
         let marks = format!(
             "{}{}{}{}",
             if sim.get(sig.load) { " load" } else { "" },
-            if sim.get(sig.valid) { " inject-wave" } else { "" },
+            if sim.get(sig.valid) {
+                " inject-wave"
+            } else {
+                ""
+            },
             if sim.get(sig.shift_x) { " shift-X" } else { "" },
             if sim.get(sig.done) { " DONE" } else { "" },
         );
@@ -50,10 +54,7 @@ fn trace_one_multiplication() {
         sim.step();
         sim.set(start, false);
     }
-    println!(
-        "latency: 3l+4 = {} cycles from START to DONE\n",
-        3 * l + 4
-    );
+    println!("latency: 3l+4 = {} cycles from START to DONE\n", 3 * l + 4);
     // The MMMC wraps exactly this controller:
     let mmmc = Mmmc::build(l, CarryStyle::XorMux);
     assert_eq!(mmmc.expected_cycles(), (3 * l + 4) as u64);
@@ -71,7 +72,10 @@ fn trace_exponentiation() {
     let mut engine = WaveMmmc::new(params.clone());
     let r2 = params.r2_mod_n();
     let mbar = engine.mont_mul(&m, &r2);
-    println!("pre:  M̄ = Mont(M, R² mod N) = {mbar}   [3l+4 = {} cycles]", 3 * l + 4);
+    println!(
+        "pre:  M̄ = Mont(M, R² mod N) = {mbar}   [3l+4 = {} cycles]",
+        3 * l + 4
+    );
 
     let t = e.bit_len();
     let mut a = mbar.clone();

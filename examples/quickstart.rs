@@ -32,11 +32,18 @@ fn main() {
     let mut engine = GateEngine::new(&mmmc, params.clone());
     let (result, cycles) = engine.mont_mul_counted(&x, &y);
 
-    println!("Mont({x}, {y}) = {result}   [{cycles} cycles, expected 3l+4 = {}]", 3 * l + 4);
+    println!(
+        "Mont({x}, {y}) = {result}   [{cycles} cycles, expected 3l+4 = {}]",
+        3 * l + 4
+    );
 
     // Verify against x·y·R⁻¹ mod N computed with plain modular algebra.
     let want = mont_spec(&params, &x, &y, &params.r());
-    assert_eq!(result.rem(&n), want, "hardware result must match the definition");
+    assert_eq!(
+        result.rem(&n),
+        want,
+        "hardware result must match the definition"
+    );
     assert!(result < params.two_n(), "output bound: T < 2N");
     println!("verified: result ≡ x·y·R⁻¹ (mod N) and result < 2N ✓");
 }

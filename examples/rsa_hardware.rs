@@ -27,7 +27,10 @@ fn main() {
     let params = MontgomeryParams::hardware_safe(&key.n);
     let l = params.l();
     let mmmc = Mmmc::build(l, CarryStyle::XorMux);
-    println!("MMMC elaborated at l = {l} ({} gates)", mmmc.netlist.gates().len());
+    println!(
+        "MMMC elaborated at l = {l} ({} gates)",
+        mmmc.netlist.gates().len()
+    );
 
     let message = Ubig::from(123_456_789u64);
     println!("message   = {message}");

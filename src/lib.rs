@@ -15,13 +15,14 @@
 //!   slice packing, timing),
 //! * [`core`] — the paper's contribution: the systolic array cells
 //!   (Fig. 1), the linear array (Fig. 2), the Montgomery Modular
-//!   Multiplication Circuit with its ASM controller (Figs. 3–4), and
-//!   the modular exponentiator (Alg. 3),
+//!   Multiplication Circuit with its ASM controller (Figs. 3–4), the
+//!   modular exponentiator (Alg. 3), and the 64-lane bit-sliced batch
+//!   engine (`core::batch`) with its batched exponentiator,
 //! * [`baselines`] — the comparison designs (Blum–Paar-style
 //!   `R = 2^{l+3}` multiplier, naive interleaved modular
 //!   multiplication, high-radix iteration models),
 //! * [`rsa`] and [`ecc`] — the two public-key applications the paper
-//!   targets.
+//!   targets, including batched many-client sign/verify.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results. Start with `examples/quickstart.rs`.

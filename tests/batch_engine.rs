@@ -1,0 +1,126 @@
+//! Cross-engine property tests for the bit-sliced batch engine: every
+//! lane of a batch must be **bit-identical** to a solo run of the
+//! packed wave model, across random widths spanning `u64` word
+//! boundaries and partial batches — and the batched exponentiator must
+//! agree with the big-integer oracle.
+
+use montgomery_systolic::bigint::Ubig;
+use montgomery_systolic::core::batch::{mont_mul_many, BitSlicedBatch, SequentialBatch};
+use montgomery_systolic::core::expo_batch::BatchModExp;
+use montgomery_systolic::core::modgen::random_safe_params;
+use montgomery_systolic::core::wave_packed::PackedMmmc;
+use montgomery_systolic::core::{BatchMontMul, MontMul};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_lane_bit_identical_to_solo_packed(
+        // Widths spanning the u64 word boundary (position vectors are
+        // l + 2 bits, so l = 62 puts the top cell at a word edge).
+        l in 30usize..100,
+        seed in any::<u64>(),
+        lane_sel in 0usize..4
+    ) {
+        let lanes = [1usize, 3, 63, 64][lane_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let xs: Vec<Ubig> = (0..lanes)
+            .map(|_| montgomery_systolic::core::modgen::random_operand(&mut rng, &params))
+            .collect();
+        let ys: Vec<Ubig> = (0..lanes)
+            .map(|_| montgomery_systolic::core::modgen::random_operand(&mut rng, &params))
+            .collect();
+
+        let mut batch = BitSlicedBatch::new(params.clone());
+        let got = batch.mont_mul_batch(&xs, &ys);
+
+        let mut solo = PackedMmmc::new(params.clone());
+        for k in 0..lanes {
+            let want = solo.mont_mul(&xs[k], &ys[k]);
+            prop_assert_eq!(
+                &got[k], &want,
+                "lane {} of {} diverged from solo packed run at l={}", k, lanes, l
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_many_lanes_match_sequential_adapter(
+        l in 10usize..40,
+        seed in any::<u64>(),
+        count in 1usize..150
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let xs: Vec<Ubig> = (0..count)
+            .map(|_| montgomery_systolic::core::modgen::random_operand(&mut rng, &params))
+            .collect();
+        let ys: Vec<Ubig> = (0..count)
+            .map(|_| montgomery_systolic::core::modgen::random_operand(&mut rng, &params))
+            .collect();
+        let got = mont_mul_many(&params, &xs, &ys);
+        let mut seq = SequentialBatch::new(PackedMmmc::new(params.clone()));
+        let want = seq.mont_mul_batch(&xs, &ys);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn batch_modexp_matches_ubig_modpow(
+        l in 16usize..48,
+        seed in any::<u64>(),
+        lanes in 1usize..20
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let n = params.n().clone();
+        let ms: Vec<Ubig> = (0..lanes)
+            .map(|_| Ubig::random_below(&mut rng, &n))
+            .collect();
+        // Per-lane exponents of wildly different lengths (including 0).
+        let es: Vec<Ubig> = (0..lanes)
+            .map(|k| Ubig::random_bits(&mut rng, (k * 13) % (l + 1)))
+            .collect();
+        let mut me = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        let got = me.modexp_batch(&ms, &es);
+        for k in 0..lanes {
+            prop_assert_eq!(
+                &got[k],
+                &ms[k].modpow(&es[k], &n),
+                "lane {} (exponent bits {})", k, es[k].bit_len()
+            );
+        }
+    }
+}
+
+/// Deterministic regression: the exact widths where the packed model's
+/// word handling historically needed edge patches (62–66 around the
+/// `l + 2 = 64` boundary), all four partial batch sizes each.
+#[test]
+fn word_boundary_widths_all_partial_batch_sizes() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    for l in [62usize, 63, 64, 65, 66, 126, 127, 128] {
+        let params = random_safe_params(&mut rng, l);
+        let mut batch = BitSlicedBatch::new(params.clone());
+        let mut solo = PackedMmmc::new(params.clone());
+        for lanes in [1usize, 3, 63, 64] {
+            let xs: Vec<Ubig> = (0..lanes)
+                .map(|_| montgomery_systolic::core::modgen::random_operand(&mut rng, &params))
+                .collect();
+            let ys: Vec<Ubig> = (0..lanes)
+                .map(|_| montgomery_systolic::core::modgen::random_operand(&mut rng, &params))
+                .collect();
+            let got = batch.mont_mul_batch(&xs, &ys);
+            for k in 0..lanes {
+                assert_eq!(
+                    got[k],
+                    solo.mont_mul(&xs[k], &ys[k]),
+                    "l={l} lanes={lanes} lane={k}"
+                );
+            }
+        }
+    }
+}

@@ -50,11 +50,7 @@ fn different_r_engines_agree_after_domain_compensation() {
 
         // Our design: xy·2^{-(l+2)}; recover by multiplying 2^{l+2}.
         let ours = mont_mul_alg2(&params, &x, &y);
-        assert_eq!(
-            ours.modmul(&Ubig::pow2(l + 2), &n),
-            plain,
-            "ours l={l}"
-        );
+        assert_eq!(ours.modmul(&Ubig::pow2(l + 2), &n), plain, "ours l={l}");
 
         // Blum–Paar: xy·2^{-(l+3)}.
         let bp = blum_paar::bp_mont_mul(&params, &x, &y);

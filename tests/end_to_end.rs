@@ -26,7 +26,11 @@ fn rsa_gate_level_roundtrip() {
         assert_eq!(c, m.modpow(&key.e, &key.n), "hardware encrypt");
         let back = ModExp::new(GateEngine::new(&mmmc, params.clone())).modexp(&c, &key.d);
         assert_eq!(back, m, "hardware decrypt");
-        assert_eq!(montgomery_systolic::rsa::decrypt_crt(&key, &c), m, "CRT decrypt");
+        assert_eq!(
+            montgomery_systolic::rsa::decrypt_crt(&key, &c),
+            m,
+            "CRT decrypt"
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 //! against a test suite that silently passes everything.
 
 use montgomery_systolic::core::modgen::{random_operand, random_safe_params};
-use montgomery_systolic::core::montgomery::mont_mul_alg2;
+use montgomery_systolic::core::montgomery::{mont_mul_alg2, MontgomeryParams};
 use montgomery_systolic::core::Mmmc;
 use montgomery_systolic::hdl::netlist::GateKind;
 use montgomery_systolic::hdl::{CarryStyle, Netlist, Simulator};
@@ -37,18 +37,27 @@ fn gate_kind_faults_are_detected() {
     // Flip each of a sample of array gates from XOR->OR (a classic
     // wiring mistake); the multiplication result must change for at
     // least one operand pair — i.e. our oracle has teeth.
-    let mut rng = StdRng::seed_from_u64(7);
+    //
+    // Deterministic on purpose: the modulus is the largest
+    // hardware-safe value at l=6 (N=43) and the stimulus is a fixed
+    // operand grid, so the detection count cannot drift with the RNG
+    // stream backing `random_safe_params`.
     let l = 6;
-    let params = random_safe_params(&mut rng, l);
+    let n = MontgomeryParams::max_safe_modulus(l);
+    let params = MontgomeryParams::new(&n, l);
     let mmmc = Mmmc::build(l, CarryStyle::XorMux);
 
-    let mut cases: Vec<(Ubig, Ubig)> = (0..24)
-        .map(|_| (random_operand(&mut rng, &params), random_operand(&mut rng, &params)))
+    // Grid of corner and spread operands (all < 2N = 86), crossed with
+    // itself: boundary values exercise the carry chains hardest.
+    let two_n = params.two_n().to_u64().unwrap();
+    let pool: Vec<u64> = [0, 1, 2, 3, 5, 21, 27, 42, 43, 44, 63, 64, 73, 84, 85]
+        .into_iter()
+        .filter(|&v| v < two_n)
         .collect();
-    // Boundary operands exercise the carry chains hardest.
-    let top = params.two_n() - Ubig::one();
-    cases.push((top.clone(), top.clone()));
-    cases.push((top, Ubig::one()));
+    let cases: Vec<(Ubig, Ubig)> = pool
+        .iter()
+        .flat_map(|&x| pool.iter().map(move |&y| (Ubig::from(x), Ubig::from(y))))
+        .collect();
 
     let xor_gates: Vec<usize> = mmmc
         .netlist
@@ -82,9 +91,8 @@ fn gate_kind_faults_are_detected() {
     // notably the leftmost cell's t_{l+1} XOR, where carry ∧ c1_in is
     // exactly the overflow condition hardware-safe moduli exclude.
     // Exhaustive operand enumeration (`mmm-bench --bin faultprobe`)
-    // proves 2 of these 11 faults are *redundant* for this modulus, and
-    // one more needs operand corners a small random sample can miss:
-    // allow three misses.
+    // shows a small number of these faults are *redundant* at this
+    // modulus: allow three misses out of the sampled eleven.
     assert!(
         detected + 3 >= injected,
         "only {detected}/{injected} injected faults detected"

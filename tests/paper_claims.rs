@@ -50,14 +50,21 @@ fn claim_constant_critical_path() {
     let mut lut_levels = Vec::new();
     for l in [4usize, 16, 64, 256] {
         let arr = SystolicArray::build(l, CarryStyle::XorMux);
-        gate_levels
-            .push(montgomery_systolic::hdl::timing::critical_path(&arr.netlist, &UnitDelay)
+        gate_levels.push(
+            montgomery_systolic::hdl::timing::critical_path(&arr.netlist, &UnitDelay)
                 .unwrap()
-                .levels);
+                .levels,
+        );
         lut_levels.push(map_luts(&arr.netlist).depth);
     }
-    assert!(gate_levels.windows(2).all(|w| w[0] == w[1]), "{gate_levels:?}");
-    assert!(lut_levels.windows(2).all(|w| w[0] == w[1]), "{lut_levels:?}");
+    assert!(
+        gate_levels.windows(2).all(|w| w[0] == w[1]),
+        "{gate_levels:?}"
+    );
+    assert!(
+        lut_levels.windows(2).all(|w| w[0] == w[1]),
+        "{lut_levels:?}"
+    );
 }
 
 /// Table 2's claim in prose: "the clock frequency is independent from
@@ -138,8 +145,14 @@ fn claim_beats_blum_paar() {
         assert!(cost::mmm_cycles(l) < blum_paar::bp_mmm_cycles(l));
     }
     let rows = mmm_bench::compare::compute(&[256]);
-    let ours = rows.iter().find(|r| r.design.starts_with("this work")).unwrap();
-    let bp = rows.iter().find(|r| r.design.starts_with("Blum-Paar")).unwrap();
+    let ours = rows
+        .iter()
+        .find(|r| r.design.starts_with("this work"))
+        .unwrap();
+    let bp = rows
+        .iter()
+        .find(|r| r.design.starts_with("Blum-Paar"))
+        .unwrap();
     assert!(ours.tmmm_us < bp.tmmm_us);
     assert!(ours.texp_ms < bp.texp_ms);
 }

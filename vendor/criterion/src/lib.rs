@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API this workspace's benches
+//! use — groups, `bench_with_input`, `Throughput::Elements`,
+//! `criterion_group!`/`criterion_main!` — over a simple wall-clock
+//! harness: per benchmark it warms up for `warm_up_time`, then runs
+//! timed batches until `measurement_time` elapses (at least
+//! `sample_size` batches), reporting the mean time per iteration and,
+//! when a throughput is configured, elements per second.
+//!
+//! No statistics, plots or comparisons — numbers print to stdout in a
+//! stable `name … time: … thrpt: …` format that downstream tooling
+//! (e.g. `compare_batch`) can parse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering, displayed as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/param`.
+    pub fn new<P: Display>(name: impl Into<String>, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Creates an id from just a function name.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    min_samples: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing total elapsed time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size so one batch is ~1/50 of the measurement
+        // budget, from the warm-up estimate of per-iteration cost.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.measurement_time.as_secs_f64() / 50.0 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+        let start = Instant::now();
+        let mut samples: u64 = 0;
+        while start.elapsed() < self.measurement_time || samples < self.min_samples {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+            samples += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            min_samples: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::from_name(id);
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            min_samples: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = if b.iters == 0 {
+            f64::NAN
+        } else {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        };
+        let mut line = format!("{}/{}  time: [{}]", self.name, id, format_time(per_iter));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / per_iter;
+            line.push_str(&format!("  thrpt: [{rate:.4e} {unit}]"));
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (prints nothing; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.4} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.4} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.4} ms", secs * 1e3)
+    } else {
+        format!("{secs:.4} s")
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration; present for
+    /// API compatibility with criterion's generated harness code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            min_samples: 1,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        let id = BenchmarkId::new("mul", 1024);
+        assert_eq!(id.id, "mul/1024");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &_| {
+            ran = true;
+            b.iter(|| black_box(2 + 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

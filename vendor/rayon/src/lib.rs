@@ -1,0 +1,193 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The registry is unreachable in this build environment, so this
+//! vendored crate reimplements the small slice of rayon the workspace
+//! uses — `par_iter()` / `par_chunks()` / `into_par_iter()` followed by
+//! `map(...).collect()` — with real data parallelism on
+//! [`std::thread::scope`]. Work is split into one contiguous span per
+//! hardware thread and results are stitched back **in input order**,
+//! matching rayon's ordered-collect semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Everything a caller needs, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap, ParallelSlice};
+}
+
+/// Number of worker threads to fan out across.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An eager "parallel iterator": the items to process, in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, ready to execute on `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attaches the per-item function.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel (no results).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Executes the map across threads, preserving input order.
+    pub fn collect<C: FromIterator<R>>(mut self) -> C {
+        let n = self.items.len();
+        let workers = threads().min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            let f = &self.f;
+            return self.items.drain(..).map(f).collect();
+        }
+        // Contiguous spans, remainder spread over the first few workers.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut spans: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut rest = self.items;
+        for w in (0..workers).rev() {
+            let take = base + usize::from(w < extra);
+            spans.push(rest.split_off(rest.len() - take));
+        }
+        // `spans` is in reverse span order; threads return ordered outputs.
+        let f = &self.f;
+        let mut outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .into_iter()
+                .map(|span| scope.spawn(move || span.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        outputs.reverse();
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Consumes `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration over slices (and anything that derefs
+/// to a slice, e.g. arrays and `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping chunks of length
+    /// `chunk_size` (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let input: Vec<u64> = (0..1000).collect();
+        let par: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        let seq: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_cover_everything_in_order() {
+        let input: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = input.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), input.iter().sum::<u32>());
+        assert_eq!(sums[0], (0..10).sum::<u32>());
+        assert_eq!(sums[10], (100..103).sum::<u32>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, [1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let n = ids.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(n > 1, "expected fan-out, saw {n} thread(s)");
+        }
+    }
+}
