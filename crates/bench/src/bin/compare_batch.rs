@@ -8,8 +8,11 @@
 //! * one 64-lane bit-sliced batch (`BitSlicedBatch`),
 //!
 //! and reports multiplications per second plus the speedup. Run with
-//! `cargo run --release -p mmm-bench --bin compare_batch`.
+//! `cargo run --release -p mmm-bench --bin compare_batch`
+//! (`-- --quick` shrinks the widths and budget to a CI smoke run and
+//! skips the JSON).
 
+use mmm_bench::hosttime::time_ns_per_call;
 use mmm_bigint::Ubig;
 use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
 use mmm_core::modgen::{random_operand, random_safe_params};
@@ -18,7 +21,6 @@ use mmm_core::wave_packed::PackedMmmc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Instant;
 
 struct Row {
     l: usize,
@@ -27,22 +29,13 @@ struct Row {
     speedup: f64,
 }
 
-/// Runs `f` repeatedly for at least `budget_ms`, returning mean
-/// nanoseconds per call.
-fn time_ns_per_call(budget_ms: u64, mut f: impl FnMut()) -> f64 {
-    // Warm-up.
-    f();
-    let budget = std::time::Duration::from_millis(budget_ms);
-    let start = Instant::now();
-    let mut calls = 0u64;
-    while start.elapsed() < budget {
-        f();
-        calls += 1;
-    }
-    start.elapsed().as_nanos() as f64 / calls as f64
-}
-
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, budget_ms): (&[usize], u64) = if quick {
+        (&[64, 128], 150)
+    } else {
+        (&[256, 512, 1024], 1500)
+    };
     let mut rng = StdRng::seed_from_u64(0xBA7C);
     let mut rows = Vec::new();
 
@@ -51,7 +44,7 @@ fn main() {
         "{:>6} {:>16} {:>16} {:>9}",
         "l", "seq ns/mul", "batch ns/mul", "speedup"
     );
-    for l in [256usize, 512, 1024] {
+    for &l in sizes {
         let params = random_safe_params(&mut rng, l);
         let xs: Vec<Ubig> = (0..MAX_LANES)
             .map(|_| random_operand(&mut rng, &params))
@@ -61,14 +54,14 @@ fn main() {
             .collect();
 
         let mut packed = PackedMmmc::new(params.clone());
-        let seq_ns = time_ns_per_call(1500, || {
+        let seq_ns = time_ns_per_call(budget_ms, || {
             for (x, y) in xs.iter().zip(&ys) {
                 black_box(packed.mont_mul(black_box(x), black_box(y)));
             }
         }) / MAX_LANES as f64;
 
         let mut batch = BitSlicedBatch::new(params.clone());
-        let batch_ns = time_ns_per_call(1500, || {
+        let batch_ns = time_ns_per_call(budget_ms, || {
             black_box(batch.mont_mul_batch(black_box(&xs), black_box(&ys)));
         }) / MAX_LANES as f64;
 
@@ -80,6 +73,11 @@ fn main() {
             batch_ns_per_mul: batch_ns,
             speedup,
         });
+    }
+
+    if quick {
+        println!("\nquick mode: smoke run only, BENCH_batch.json not written");
+        return;
     }
 
     // Hand-rolled JSON (no serde in the sanctioned dependency set).

@@ -1,0 +1,186 @@
+//! Serving-path comparison: full-width multiply-always batch
+//! decryption (PR 1's `decrypt_batch` schedule) versus the windowed
+//! full-width scan versus windowed batched **CRT** decryption, at 64
+//! lanes. Emits `BENCH_crt_window.json`.
+//!
+//! For each RSA key size it measures, per operation (one full
+//! decryption of one lane):
+//!
+//! * `full_always` — one 64-lane batch on a full-width engine,
+//!   square-and-multiply-always (the PR 1 baseline);
+//! * `full_window` — same engine, fixed-window scan at the
+//!   cost-model-picked width (isolates the windowing win);
+//! * `crt_window` — [`mmm_rsa::decrypt_crt_batch`]: two half-width
+//!   windowed batch exponentiations recombined with Garner per lane
+//!   (the full serving path, pool-backed).
+//!
+//! It also measures generic batched modexp with **per-lane** random
+//! exponents (the mixed-traffic shape), multiply-always vs windowed —
+//! the clean windowing comparison. With one shared exponent the
+//! "multiply-always" scan already skips every bit that is 0 in `d`
+//! (all lanes agree), so the decrypt rows understate the window win;
+//! with per-lane exponents no bit position is ever all-clear and the
+//! schedules differ purely by the scan.
+//!
+//! Every path is verified lane-for-lane against the big-integer
+//! oracle before timing. Run with
+//! `cargo run --release -p mmm-bench --bin compare_crt_window`
+//! (`-- --quick` shrinks the sizes to a CI smoke run and skips the
+//! JSON).
+
+use mmm_bench::hosttime::time_ns_per_call;
+use mmm_bigint::Ubig;
+use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
+use mmm_core::expo_window::best_fixed_window;
+use mmm_core::montgomery::MontgomeryParams;
+use mmm_core::BatchModExp;
+use mmm_rsa::{decrypt_crt_batch, RsaKeyPair};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Row {
+    bits: usize,
+    window: usize,
+    full_always_ns: f64,
+    full_window_ns: f64,
+    crt_window_ns: f64,
+    modexp_always_ns: f64,
+    modexp_window_ns: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, budget_ms): (&[usize], u64) = if quick {
+        (&[64, 128], 200)
+    } else {
+        (&[256, 512, 1024], 1500)
+    };
+    let mut rng = StdRng::seed_from_u64(0xC27);
+    let mut rows = Vec::new();
+
+    println!(
+        "CRT + windowed batch decryption vs PR 1 full-width multiply-always ({MAX_LANES} lanes)"
+    );
+    println!(
+        "{:>6} {:>3} {:>16} {:>16} {:>16} {:>10} {:>10} {:>10}",
+        "bits",
+        "w",
+        "always ns/op",
+        "window ns/op",
+        "crt ns/op",
+        "win spdup",
+        "crt spdup",
+        "mx spdup"
+    );
+
+    for &bits in sizes {
+        let key = RsaKeyPair::generate(&mut rng, bits, 12);
+        let params = MontgomeryParams::hardware_safe(&key.n);
+        let ms: Vec<Ubig> = (0..MAX_LANES)
+            .map(|_| Ubig::random_below(&mut rng, &key.n))
+            .collect();
+        let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&key.e, &key.n)).collect();
+        let ds = vec![key.d.clone(); MAX_LANES];
+        let window = best_fixed_window(key.d.bit_len());
+
+        // Correctness gate: all three paths bit-identical to the
+        // scalar oracle before any timing.
+        {
+            let mut always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+            assert_eq!(always.modexp_batch(&cs, &ds), ms, "multiply-always oracle");
+            let mut windowed = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+            assert_eq!(
+                windowed.modexp_batch_windowed(&cs, &ds, window),
+                ms,
+                "windowed oracle"
+            );
+            assert_eq!(decrypt_crt_batch(&key, &cs), ms, "CRT oracle");
+        }
+
+        let mut engine_always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        let full_always_ns = time_ns_per_call(budget_ms, || {
+            black_box(engine_always.modexp_batch(black_box(&cs), black_box(&ds)));
+        }) / MAX_LANES as f64;
+
+        let mut engine_window = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        let full_window_ns = time_ns_per_call(budget_ms, || {
+            black_box(engine_window.modexp_batch_windowed(black_box(&cs), black_box(&ds), window));
+        }) / MAX_LANES as f64;
+
+        let crt_window_ns = time_ns_per_call(budget_ms, || {
+            black_box(decrypt_crt_batch(black_box(&key), black_box(&cs)));
+        }) / MAX_LANES as f64;
+
+        // Mixed traffic: per-lane random full-length exponents.
+        let es: Vec<Ubig> = (0..MAX_LANES)
+            .map(|_| {
+                let mut e = Ubig::random_bits(&mut rng, bits);
+                e.set_bit(bits - 1, true);
+                e
+            })
+            .collect();
+        {
+            let mut always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+            let mut windowed = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+            let a = always.modexp_batch(&ms, &es);
+            assert_eq!(
+                windowed.modexp_batch_windowed(&ms, &es, window),
+                a,
+                "mixed-traffic oracle"
+            );
+        }
+        let mut modexp_always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        let modexp_always_ns = time_ns_per_call(budget_ms, || {
+            black_box(modexp_always.modexp_batch(black_box(&ms), black_box(&es)));
+        }) / MAX_LANES as f64;
+        let mut modexp_window = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        let modexp_window_ns = time_ns_per_call(budget_ms, || {
+            black_box(modexp_window.modexp_batch_windowed(black_box(&ms), black_box(&es), window));
+        }) / MAX_LANES as f64;
+
+        println!(
+            "{bits:>6} {window:>3} {full_always_ns:>16.0} {full_window_ns:>16.0} {crt_window_ns:>16.0} {:>9.2}x {:>9.2}x {:>9.2}x",
+            full_always_ns / full_window_ns,
+            full_always_ns / crt_window_ns,
+            modexp_always_ns / modexp_window_ns,
+        );
+        rows.push(Row {
+            bits,
+            window,
+            full_always_ns,
+            full_window_ns,
+            crt_window_ns,
+            modexp_always_ns,
+            modexp_window_ns,
+        });
+    }
+
+    if quick {
+        println!("\nquick mode: smoke run only, BENCH_crt_window.json not written");
+        return;
+    }
+
+    // Hand-rolled JSON (no serde in the sanctioned dependency set).
+    let mut json = String::from("{\n  \"bench\": \"crt_window_vs_full_multiply_always\",\n");
+    json.push_str(&format!("  \"lanes\": {MAX_LANES},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"l\": {}, \"window\": {}, \"full_always_ns_per_op\": {:.0}, \"full_window_ns_per_op\": {:.0}, \"crt_window_ns_per_op\": {:.0}, \"modexp_always_ns_per_op\": {:.0}, \"modexp_window_ns_per_op\": {:.0}, \"window_speedup\": {:.2}, \"crt_speedup\": {:.2}, \"modexp_window_speedup\": {:.2}}}{}\n",
+            r.bits,
+            r.window,
+            r.full_always_ns,
+            r.full_window_ns,
+            r.crt_window_ns,
+            r.modexp_always_ns,
+            r.modexp_window_ns,
+            r.full_always_ns / r.full_window_ns,
+            r.full_always_ns / r.crt_window_ns,
+            r.modexp_always_ns / r.modexp_window_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_crt_window.json", &json).expect("write BENCH_crt_window.json");
+    println!("\nwrote BENCH_crt_window.json");
+}

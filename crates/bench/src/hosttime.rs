@@ -1,0 +1,25 @@
+//! Shared wall-clock timing harness for the host-throughput compare
+//! binaries (`compare_batch`, `compare_crt_window`), so their ns/op
+//! figures come from one timer and stay comparable.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly for at least `budget_ms`, returning the mean
+/// nanoseconds per call. One untimed warm-up call is discarded first
+/// (it also sizes any lazily grown scratch, pooled engines, etc.);
+/// at least one timed call always runs, so slow routines still
+/// produce a measurement when a single call overruns the budget.
+pub fn time_ns_per_call(budget_ms: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up, untimed
+    let budget = Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut calls = 0u64;
+    loop {
+        f();
+        calls += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / calls as f64
+}

@@ -22,6 +22,7 @@ pub mod area;
 pub mod compare;
 pub mod eq10;
 pub mod figures;
+pub mod hosttime;
 pub mod paper;
 pub mod radix;
 pub mod table1;

@@ -83,16 +83,23 @@ pub fn lanes_to_slices(values: &[Ubig], width: usize) -> Vec<u64> {
     out
 }
 
-/// Inverse of [`lanes_to_slices`]: rebuilds `lanes` operands from
-/// per-bit-position slices (lane `k`'s bit `j` is bit `k` of
-/// `slices[j]`).
+/// Inverse of [`lanes_to_slices`], writing into a caller-provided
+/// vector whose `Ubig` limb buffers are **reused** across calls: `out`
+/// is resized to `lanes` entries and each entry's limb allocation is
+/// recycled, so once warm (every lane at full capacity) the conversion
+/// performs no heap allocation at all — the output-scratch half of the
+/// batch engine's allocation-free hot path.
 ///
 /// # Panics
 /// Panics if more than 64 lanes are requested.
-pub fn slices_to_lanes(slices: &[u64], lanes: usize) -> Vec<Ubig> {
+pub fn slices_to_lanes_into(slices: &[u64], lanes: usize, out: &mut Vec<Ubig>) {
     assert!(lanes <= LANES, "at most {LANES} lanes");
     let blocks = slices.len().div_ceil(LIMB_BITS);
-    let mut limbs: Vec<Vec<u64>> = vec![vec![0; blocks]; lanes];
+    out.resize_with(lanes, Ubig::default);
+    for lane in out.iter_mut() {
+        lane.limbs.clear();
+        lane.limbs.resize(blocks, 0);
+    }
     let mut block = [0u64; LANES];
     for b in 0..blocks {
         let base = b * LIMB_BITS;
@@ -100,11 +107,25 @@ pub fn slices_to_lanes(slices: &[u64], lanes: usize) -> Vec<Ubig> {
         block[..n].copy_from_slice(&slices[base..base + n]);
         block[n..].fill(0);
         transpose64(&mut block);
-        for (k, lane_limbs) in limbs.iter_mut().enumerate() {
-            lane_limbs[b] = block[k];
+        for (k, lane) in out.iter_mut().enumerate() {
+            lane.limbs[b] = block[k];
         }
     }
-    limbs.into_iter().map(Ubig::from_limbs).collect()
+    for lane in out.iter_mut() {
+        lane.normalize();
+    }
+}
+
+/// Inverse of [`lanes_to_slices`]: rebuilds `lanes` operands from
+/// per-bit-position slices (lane `k`'s bit `j` is bit `k` of
+/// `slices[j]`).
+///
+/// # Panics
+/// Panics if more than 64 lanes are requested.
+pub fn slices_to_lanes(slices: &[u64], lanes: usize) -> Vec<Ubig> {
+    let mut out = Vec::with_capacity(lanes);
+    slices_to_lanes_into(slices, lanes, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -166,6 +187,24 @@ mod tests {
                 assert_eq!(slices.len(), width);
                 let back = slices_to_lanes(&slices, lanes);
                 assert_eq!(back, values, "width={width} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut out = Vec::new();
+        // Shrinking, growing and same-size reuse of the same buffer,
+        // including lanes that normalize to fewer limbs than `blocks`.
+        for round in 0..3 {
+            for lanes in [64usize, 3, 17, 64] {
+                let values: Vec<Ubig> = (0..lanes)
+                    .map(|k| Ubig::random_bits(&mut rng, if k % 3 == 0 { 7 } else { 130 }))
+                    .collect();
+                let slices = lanes_to_slices(&values, 130);
+                slices_to_lanes_into(&slices, lanes, &mut out);
+                assert_eq!(out, values, "round={round} lanes={lanes}");
             }
         }
     }

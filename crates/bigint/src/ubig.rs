@@ -9,9 +9,25 @@ use std::cmp::Ordering;
 /// Invariant: `limbs` never has trailing zero limbs; zero is the empty
 /// vector. Every constructor and operation maintains this, so `==` on
 /// the limb vectors is value equality.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(PartialEq, Eq, Hash, Default)]
 pub struct Ubig {
     pub(crate) limbs: Vec<Limb>,
+}
+
+impl Clone for Ubig {
+    fn clone(&self) -> Self {
+        Ubig {
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// Reuses the destination's limb allocation (`Vec::clone_from`),
+    /// so hot loops that overwrite the same `Ubig` repeatedly — the
+    /// batch exponentiator's per-lane multiplier selection, for one —
+    /// stay allocation-free once warm.
+    fn clone_from(&mut self, source: &Self) {
+        self.limbs.clone_from(&source.limbs);
+    }
 }
 
 impl Ubig {

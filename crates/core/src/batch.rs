@@ -49,8 +49,9 @@
 //! engines with rayon.
 
 use crate::montgomery::MontgomeryParams;
+use crate::pool;
 use crate::traits::{BatchMontMul, MontMul};
-use mmm_bigint::transpose::{lanes_to_slices_into, slices_to_lanes};
+use mmm_bigint::transpose::{lanes_to_slices_into, slices_to_lanes_into};
 use mmm_bigint::Ubig;
 use rayon::prelude::*;
 
@@ -115,6 +116,13 @@ impl BitSlicedBatch {
         &self.params
     }
 
+    /// Zeroes the accumulated cycle counter. The engine pool calls
+    /// this on checkout so a recycled engine reports only the current
+    /// loan's cycles, matching a freshly built engine.
+    pub fn reset_cycle_counter(&mut self) {
+        self.total_cycles = 0;
+    }
+
     /// Loads a batch of operands and clears the array registers.
     fn load(&mut self, xs: &[Ubig], ys: &[Ubig]) {
         let w = self.l + 2;
@@ -126,14 +134,22 @@ impl BitSlicedBatch {
         self.m_even.fill(0);
     }
 
-    /// Runs one batch of up to 64 multiplications and returns the
-    /// per-lane results with the cycle count (`3l + 4`, identical to
-    /// every other array engine — the batch dimension is free).
+    /// Runs one batch of up to 64 multiplications, writing the
+    /// per-lane results into `out` and returning the cycle count
+    /// (`3l + 4`, identical to every other array engine — the batch
+    /// dimension is free).
+    ///
+    /// This is the allocation-free primitive of the engine: the lane
+    /// state lives in `self` (reused across calls, mirroring
+    /// `PackedMmmc::reset_with`) and the output lanes recycle `out`'s
+    /// limb buffers, so once warm a call performs **zero** heap
+    /// allocations — asserted by `tests/alloc_free.rs` with a counting
+    /// global allocator.
     ///
     /// # Panics
     /// Panics on empty input, mismatched lengths, more than
     /// [`MAX_LANES`] lanes, or any operand `≥ 2N`.
-    pub fn mont_mul_batch_counted(&mut self, xs: &[Ubig], ys: &[Ubig]) -> (Vec<Ubig>, u64) {
+    pub fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) -> u64 {
         assert!(!xs.is_empty(), "empty batch");
         assert_eq!(xs.len(), ys.len(), "operand count mismatch");
         assert!(xs.len() <= MAX_LANES, "at most {MAX_LANES} lanes");
@@ -157,7 +173,16 @@ impl BitSlicedBatch {
         );
         let cycles = (3 * l + 4) as u64;
         self.total_cycles += cycles;
-        (slices_to_lanes(&self.t[1..=l + 1], xs.len()), cycles)
+        slices_to_lanes_into(&self.t[1..=l + 1], xs.len(), out);
+        cycles
+    }
+
+    /// [`Self::mont_mul_batch_into`] returning a freshly allocated
+    /// result vector alongside the cycle count.
+    pub fn mont_mul_batch_counted(&mut self, xs: &[Ubig], ys: &[Ubig]) -> (Vec<Ubig>, u64) {
+        let mut out = Vec::with_capacity(xs.len());
+        let cycles = self.mont_mul_batch_into(xs, ys, &mut out);
+        (out, cycles)
     }
 }
 
@@ -264,6 +289,10 @@ impl BatchMontMul for BitSlicedBatch {
         self.mont_mul_batch_counted(xs, ys).0
     }
 
+    fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
+        BitSlicedBatch::mont_mul_batch_into(self, xs, ys, out);
+    }
+
     fn consumed_cycles(&self) -> Option<u64> {
         Some(self.total_cycles)
     }
@@ -316,14 +345,16 @@ impl<E: MontMul> BatchMontMul for SequentialBatch<E> {
 
 /// Montgomery-multiplies an arbitrary number of lane pairs by sharding
 /// them into 64-lane batches and fanning the batches out across cores
-/// with rayon (each shard gets its own engine; results keep input
-/// order).
+/// with rayon (results keep input order). Engines are checked out of
+/// the process-wide [`pool`] keyed by `params`, so repeated calls stop
+/// rebuilding parameters and reallocating lane state — each worker
+/// reuses a warm [`BitSlicedBatch`].
 pub fn mont_mul_many(params: &MontgomeryParams, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
     assert_eq!(xs.len(), ys.len(), "operand count mismatch");
     let shards: Vec<(&[Ubig], &[Ubig])> = xs.chunks(MAX_LANES).zip(ys.chunks(MAX_LANES)).collect();
     shards
         .into_par_iter()
-        .map(|(sx, sy)| BitSlicedBatch::new(params.clone()).mont_mul_batch(sx, sy))
+        .map(|(sx, sy)| pool::global().checkout(params).mont_mul_batch(sx, sy))
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()
         .flatten()

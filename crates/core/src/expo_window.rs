@@ -34,6 +34,16 @@ impl<E: MontMul> WindowedModExp<E> {
         }
     }
 
+    /// Wraps an engine with the width [`best_window`] picks for
+    /// `exponent_bits`-bit exponents — the same cost-model-driven
+    /// selection the batched fixed-window scan uses (via
+    /// [`best_fixed_window`]), so scalar and batch paths share one
+    /// tuning policy.
+    pub fn new_auto(engine: E, exponent_bits: usize) -> Self {
+        let w = best_window(exponent_bits);
+        Self::new(engine, w)
+    }
+
     /// The engine's parameters.
     pub fn params(&self) -> &MontgomeryParams {
         self.engine.params()
@@ -154,6 +164,38 @@ pub fn best_window(t: usize) -> usize {
         .unwrap()
 }
 
+/// Expected **batched** Montgomery-multiplication count of the
+/// lockstep fixed-window (k-ary) scan
+/// ([`crate::expo_batch::BatchModExp::modexp_batch_windowed`]) for a
+/// `t`-bit exponent: the full table `2^w − 2` (every digit value,
+/// even ones included, so digit selection never perturbs the
+/// schedule), `(⌈t/w⌉ − 1)·w` squarings (the top window is a table
+/// lookup), `⌈t/w⌉ − 1` multiply-always steps, and the two domain
+/// transforms. Unlike the sliding-window model this charges the
+/// multiply for *every* window, because lanes scan in lockstep and a
+/// window is only skippable when **all** lanes have digit 0.
+pub fn expected_fixed_window_muls(t: usize, w: usize) -> f64 {
+    assert!((1..=8).contains(&w), "window must be in 1..=8");
+    if t == 0 {
+        return 2.0;
+    }
+    let windows = t.div_ceil(w);
+    ((1usize << w) - 2) as f64 + ((windows - 1) * w) as f64 + (windows - 1) as f64 + 2.0
+}
+
+/// The window width minimizing [`expected_fixed_window_muls`] for a
+/// `t`-bit exponent — the batch-path companion of [`best_window`],
+/// kept here so both exponentiation paths share one cost model.
+pub fn best_fixed_window(t: usize) -> usize {
+    (1..=8)
+        .min_by(|&a, &b| {
+            expected_fixed_window_muls(t, a)
+                .partial_cmp(&expected_fixed_window_muls(t, b))
+                .unwrap()
+        })
+        .unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +285,24 @@ mod tests {
         assert!(best_window(64) <= best_window(512));
         assert!(best_window(512) <= best_window(4096));
         assert!((2..=8).contains(&best_window(1024)));
+    }
+
+    #[test]
+    fn fixed_window_model_beats_multiply_always_at_rsa_sizes() {
+        for t in [512usize, 1024, 2048] {
+            let w = best_fixed_window(t);
+            assert!((4..=8).contains(&w), "t={t} picked w={w}");
+            // Multiply-always is the w=1 instance of the same model.
+            let always = expected_fixed_window_muls(t, 1);
+            let windowed = expected_fixed_window_muls(t, w);
+            assert!(
+                windowed < always * 0.66,
+                "t={t}: windowed {windowed:.0} vs multiply-always {always:.0}"
+            );
+        }
+        // Degenerate exponents stay sane.
+        assert_eq!(expected_fixed_window_muls(0, 3), 2.0);
+        assert!(best_fixed_window(1) >= 1);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod expo_window;
 pub mod mmmc;
 pub mod modgen;
 pub mod montgomery;
+pub mod pool;
 pub mod traits;
 pub mod wave;
 pub mod wave_packed;
@@ -60,6 +61,7 @@ pub use expo::ModExp;
 pub use expo_batch::BatchModExp;
 pub use mmmc::Mmmc;
 pub use montgomery::MontgomeryParams;
+pub use pool::EnginePool;
 pub use traits::{BatchMontMul, MontMul};
 pub use wave::WaveMmmc;
 pub use wave_packed::PackedMmmc;

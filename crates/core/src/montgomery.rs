@@ -17,6 +17,13 @@ use mmm_bigint::Ubig;
 pub struct MontgomeryParams {
     n: Ubig,
     l: usize,
+    /// `R mod N`, cached at construction (the Montgomery one).
+    r_mod_n: Ubig,
+    /// `R² mod N`, cached at construction (the domain-entry constant).
+    r2_mod_n: Ubig,
+    /// `2N`, cached at construction (the Algorithm 2 operand bound —
+    /// checked on every batch lane, so it must not allocate).
+    two_n: Ubig,
 }
 
 impl MontgomeryParams {
@@ -34,7 +41,16 @@ impl MontgomeryParams {
             n.bit_len(),
             l
         );
-        MontgomeryParams { n: n.clone(), l }
+        let r = Ubig::pow2(l + 2);
+        let r_mod_n = r.rem(n);
+        let r2_mod_n = (&r * &r).rem(n);
+        MontgomeryParams {
+            n: n.clone(),
+            l,
+            r_mod_n,
+            r2_mod_n,
+            two_n: n.shl_bits(1),
+        }
     }
 
     /// Parameters with the tightest width: `l = bitlen(N)`.
@@ -108,26 +124,28 @@ impl MontgomeryParams {
         Ubig::pow2(self.l + 2)
     }
 
-    /// `R mod N` — the Montgomery representation of 1.
+    /// `R mod N` — the Montgomery representation of 1 (cached at
+    /// construction; no division per call).
     pub fn r_mod_n(&self) -> Ubig {
-        self.r().rem(&self.n)
+        self.r_mod_n.clone()
     }
 
     /// `R² mod N` — the constant fed to the pre-computation
-    /// multiplication that maps an operand into the Montgomery domain.
+    /// multiplication that maps an operand into the Montgomery domain
+    /// (cached at construction; no division per call).
     pub fn r2_mod_n(&self) -> Ubig {
-        let r = self.r();
-        (&r * &r).rem(&self.n)
+        self.r2_mod_n.clone()
     }
 
-    /// `2N` — the operand bound of Algorithm 2.
+    /// `2N` — the operand bound of Algorithm 2 (cached).
     pub fn two_n(&self) -> Ubig {
-        self.n.shl_bits(1)
+        self.two_n.clone()
     }
 
     /// Checks the operand precondition of Algorithm 2: `v < 2N`.
+    /// Allocation-free — this runs per lane on the batch hot path.
     pub fn check_operand(&self, v: &Ubig) -> bool {
-        *v < self.two_n()
+        *v < self.two_n
     }
 }
 

@@ -1,0 +1,345 @@
+//! Per-key engine pool: cached [`MontgomeryParams`] and warm
+//! [`BitSlicedBatch`] engines, keyed by `(modulus, width)`.
+//!
+//! The serving shape this workspace targets is *one key, many
+//! requests*: every batch entry point (`mont_mul_many`,
+//! `modexp_many`, the `mmm-rsa` batched sign/verify/decrypt paths)
+//! used to rebuild `MontgomeryParams` — two wide divisions for
+//! `R mod N` and `R² mod N` — and allocate a fresh engine (seven
+//! `l + 2`-word state vectors plus transpose scratch) on **every
+//! call**. Under sustained traffic that is pure overhead: the modulus
+//! set is small (one per RSA key, two per CRT key) and engine state is
+//! perfectly reusable.
+//!
+//! [`EnginePool`] fixes both:
+//!
+//! * [`EnginePool::params_for`] caches hardware-safe parameters per
+//!   modulus (constants included, since `MontgomeryParams` now
+//!   precomputes them at construction);
+//! * [`EnginePool::checkout`] hands out a warm engine for the
+//!   parameters, building one only when every pooled engine for that
+//!   key is already on loan. The returned [`PooledEngine`] implements
+//!   [`BatchMontMul`] and parks its engine back in the pool on drop,
+//!   so rayon workers naturally recycle engines across shards and
+//!   calls.
+//!
+//! The process-wide instance is [`global`]. Pools grow with the key
+//! set (entries are never evicted — a serving process has a bounded,
+//! small key population); [`EnginePool::clear`] exists for tests and
+//! key-rotation housekeeping. Two retention consequences to be aware
+//! of: a process feeding *ephemeral* moduli through the pooled entry
+//! points grows the pool monotonically until `clear()`, and an entry
+//! keyed by a secret modulus (the CRT primes behind
+//! `mmm-rsa::decrypt_crt_batch`) keeps that secret in memory after
+//! the key itself is dropped — call `clear()` on rotation if that
+//! matters (this workspace is a throughput simulator, not a hardened
+//! key store; nothing here is zeroized).
+
+use crate::batch::BitSlicedBatch;
+use crate::montgomery::MontgomeryParams;
+use crate::traits::BatchMontMul;
+use mmm_bigint::Ubig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters describing how well the pool is amortizing setup work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Key lookups that found a cached entry.
+    pub key_hits: u64,
+    /// Key lookups that had to build parameters.
+    pub key_misses: u64,
+    /// Checkouts served by a warm, previously returned engine.
+    pub engine_reuses: u64,
+    /// Checkouts that had to construct a fresh engine.
+    pub engine_builds: u64,
+}
+
+/// One pooled key: its parameters and the idle engines built for it.
+#[derive(Debug)]
+struct KeyEntry {
+    params: MontgomeryParams,
+    idle: Mutex<Vec<BitSlicedBatch>>,
+}
+
+/// A pool of per-key parameters and warm batch engines.
+#[derive(Debug, Default)]
+pub struct EnginePool {
+    /// Width → (modulus → entry). The two-level shape lets the hit
+    /// path probe with the caller's `&Ubig` — no modulus clone, no
+    /// allocation — and keeps the map lock free of any wide
+    /// arithmetic (entries are built outside it).
+    keys: Mutex<HashMap<usize, HashMap<Ubig, Arc<KeyEntry>>>>,
+    key_hits: AtomicU64,
+    key_misses: AtomicU64,
+    engine_reuses: AtomicU64,
+    engine_builds: AtomicU64,
+}
+
+impl EnginePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        EnginePool::default()
+    }
+
+    /// Looks up (or creates) the entry for modulus `n` at width `l`,
+    /// building parameters with `make` **outside** the map lock on a
+    /// miss (the `R mod N` / `R² mod N` divisions must not stall
+    /// other keys' checkouts). Two threads racing on the same fresh
+    /// key may both build; the first insert wins and the loser's
+    /// build is discarded — `key_misses` counts build attempts.
+    fn entry_with(
+        &self,
+        n: &Ubig,
+        l: usize,
+        make: impl FnOnce() -> MontgomeryParams,
+    ) -> Arc<KeyEntry> {
+        {
+            let keys = self.keys.lock().expect("pool key map poisoned");
+            if let Some(entry) = keys.get(&l).and_then(|per_n| per_n.get(n)) {
+                self.key_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(entry);
+            }
+        }
+        self.key_misses.fetch_add(1, Ordering::Relaxed);
+        let params = make();
+        debug_assert!(params.n() == n && params.l() == l, "make() key mismatch");
+        let entry = Arc::new(KeyEntry {
+            params,
+            idle: Mutex::new(Vec::new()),
+        });
+        let mut keys = self.keys.lock().expect("pool key map poisoned");
+        Arc::clone(keys.entry(l).or_default().entry(n.clone()).or_insert(entry))
+    }
+
+    /// Cached hardware-safe parameters for modulus `n` (the expensive
+    /// `R mod N` / `R² mod N` divisions run once per key, not once per
+    /// call).
+    pub fn params_for(&self, n: &Ubig) -> MontgomeryParams {
+        let l = MontgomeryParams::min_hardware_width(n);
+        self.entry_with(n, l, || MontgomeryParams::new(n, l))
+            .params
+            .clone()
+    }
+
+    /// Checks out a warm engine for `params`, building one only if no
+    /// idle engine is pooled for this key. The engine returns to the
+    /// pool when the guard drops.
+    pub fn checkout(&self, params: &MontgomeryParams) -> PooledEngine {
+        // The caller already computed the params, so a miss here costs
+        // one clone, never a division.
+        let entry = self.entry_with(params.n(), params.l(), || params.clone());
+        let idle = entry.idle.lock().expect("pool idle list poisoned").pop();
+        let engine = match idle {
+            Some(mut engine) => {
+                self.engine_reuses.fetch_add(1, Ordering::Relaxed);
+                // A recycled engine must look fresh to its borrower:
+                // cycle counts are a per-loan observable.
+                engine.reset_cycle_counter();
+                engine
+            }
+            None => {
+                self.engine_builds.fetch_add(1, Ordering::Relaxed);
+                BitSlicedBatch::new(entry.params.clone())
+            }
+        };
+        PooledEngine {
+            engine: Some(engine),
+            home: entry,
+        }
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            key_hits: self.key_hits.load(Ordering::Relaxed),
+            key_misses: self.key_misses.load(Ordering::Relaxed),
+            engine_reuses: self.engine_reuses.load(Ordering::Relaxed),
+            engine_builds: self.engine_builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached key and idle engine (engines on loan return
+    /// to a fresh entry the next time their key is used).
+    pub fn clear(&self) {
+        self.keys.lock().expect("pool key map poisoned").clear();
+    }
+}
+
+/// RAII guard over a checked-out [`BitSlicedBatch`]: usable wherever a
+/// [`BatchMontMul`] is expected, parked back into its pool on drop.
+#[derive(Debug)]
+pub struct PooledEngine {
+    engine: Option<BitSlicedBatch>,
+    home: Arc<KeyEntry>,
+}
+
+impl PooledEngine {
+    fn engine_mut(&mut self) -> &mut BitSlicedBatch {
+        self.engine.as_mut().expect("engine present until drop")
+    }
+
+    fn engine_ref(&self) -> &BitSlicedBatch {
+        self.engine.as_ref().expect("engine present until drop")
+    }
+}
+
+impl Drop for PooledEngine {
+    fn drop(&mut self) {
+        if let Some(engine) = self.engine.take() {
+            self.home
+                .idle
+                .lock()
+                .expect("pool idle list poisoned")
+                .push(engine);
+        }
+    }
+}
+
+impl BatchMontMul for PooledEngine {
+    fn params(&self) -> &MontgomeryParams {
+        self.engine_ref().params()
+    }
+
+    fn max_lanes(&self) -> usize {
+        self.engine_ref().max_lanes()
+    }
+
+    fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+        self.engine_mut().mont_mul_batch_counted(xs, ys).0
+    }
+
+    fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
+        self.engine_mut().mont_mul_batch_into(xs, ys, out);
+    }
+
+    fn consumed_cycles(&self) -> Option<u64> {
+        self.engine_ref().consumed_cycles()
+    }
+
+    fn name(&self) -> &'static str {
+        "pooled bit-sliced batch"
+    }
+}
+
+/// The process-wide pool used by the sharded `*_many` entry points and
+/// the `mmm-rsa` batch API.
+pub fn global() -> &'static EnginePool {
+    static POOL: OnceLock<EnginePool> = OnceLock::new();
+    POOL.get_or_init(EnginePool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modgen::{random_operand, random_safe_params};
+    use crate::montgomery::mont_mul_alg2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkout_reuses_engines_and_params() {
+        let mut rng = StdRng::seed_from_u64(401);
+        let pool = EnginePool::new();
+        let p = random_safe_params(&mut rng, 24);
+        {
+            let _a = pool.checkout(&p);
+            let _b = pool.checkout(&p);
+            let s = pool.stats();
+            assert_eq!(s.engine_builds, 2, "both on loan: two builds");
+            assert_eq!(s.engine_reuses, 0);
+        }
+        // Both returned; the next two checkouts must be warm.
+        let _c = pool.checkout(&p);
+        let _d = pool.checkout(&p);
+        let s = pool.stats();
+        assert_eq!(s.engine_builds, 2);
+        assert_eq!(s.engine_reuses, 2);
+        assert_eq!(s.key_misses, 1, "one key entry for one modulus");
+    }
+
+    #[test]
+    fn pooled_engine_computes_correctly_across_generations() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let pool = EnginePool::new();
+        let p = random_safe_params(&mut rng, 20);
+        for round in 0..4 {
+            let xs: Vec<Ubig> = (0..5).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..5).map(|_| random_operand(&mut rng, &p)).collect();
+            let mut engine = pool.checkout(&p);
+            let got = engine.mont_mul_batch(&xs, &ys);
+            for k in 0..5 {
+                assert_eq!(got[k], mont_mul_alg2(&p, &xs[k], &ys[k]), "round {round}");
+            }
+        }
+        assert_eq!(
+            pool.stats().engine_builds,
+            1,
+            "one engine serves all rounds"
+        );
+    }
+
+    #[test]
+    fn recycled_engine_reports_only_its_own_cycles() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let pool = EnginePool::new();
+        let p = random_safe_params(&mut rng, 16);
+        let xs: Vec<Ubig> = (0..3).map(|_| random_operand(&mut rng, &p)).collect();
+        let per_batch = (3 * 16 + 4) as u64;
+        {
+            let mut first = pool.checkout(&p);
+            let _ = first.mont_mul_batch(&xs, &xs);
+            let _ = first.mont_mul_batch(&xs, &xs);
+            assert_eq!(first.consumed_cycles(), Some(2 * per_batch));
+        }
+        // Same engine, next loan: the counter starts from zero again.
+        let mut second = pool.checkout(&p);
+        assert_eq!(pool.stats().engine_reuses, 1, "warm engine recycled");
+        assert_eq!(second.consumed_cycles(), Some(0));
+        let _ = second.mont_mul_batch(&xs, &xs);
+        assert_eq!(second.consumed_cycles(), Some(per_batch));
+    }
+
+    #[test]
+    fn params_for_caches_per_modulus() {
+        let pool = EnginePool::new();
+        let n = Ubig::from(1000003u64);
+        let a = pool.params_for(&n);
+        let b = pool.params_for(&n);
+        assert_eq!(a, b);
+        assert_eq!(a, MontgomeryParams::hardware_safe(&n));
+        let s = pool.stats();
+        assert_eq!(s.key_misses, 1);
+        assert_eq!(s.key_hits, 1);
+    }
+
+    #[test]
+    fn distinct_widths_get_distinct_entries() {
+        let pool = EnginePool::new();
+        let n = Ubig::from(101u64);
+        let narrow = MontgomeryParams::new(&n, 8);
+        let wide = MontgomeryParams::new(&n, 10);
+        let _a = pool.checkout(&narrow);
+        let _b = pool.checkout(&wide);
+        assert_eq!(pool.stats().key_misses, 2, "width is part of the key");
+    }
+
+    #[test]
+    fn clear_forgets_idle_engines() {
+        let pool = EnginePool::new();
+        let n = Ubig::from(1009u64);
+        let p = MontgomeryParams::hardware_safe(&n);
+        drop(pool.checkout(&p));
+        pool.clear();
+        drop(pool.checkout(&p));
+        assert_eq!(pool.stats().engine_builds, 2, "cleared pool rebuilds");
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global() as *const EnginePool;
+        let b = global() as *const EnginePool;
+        assert_eq!(a, b);
+    }
+}

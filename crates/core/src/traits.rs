@@ -47,6 +47,15 @@ pub trait BatchMontMul {
     /// is `xs[k]·ys[k]·R⁻¹ (mod N)`.
     fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig>;
 
+    /// Like [`BatchMontMul::mont_mul_batch`], but writing into a
+    /// caller-provided buffer so engines that support it can recycle
+    /// the output lanes' allocations across calls (the bit-sliced
+    /// engine's hot path is allocation-free through this entry point).
+    /// The default delegates to `mont_mul_batch`.
+    fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
+        *out = self.mont_mul_batch(xs, ys);
+    }
+
     /// Total simulated clock cycles consumed so far, if cycle-accurate.
     fn consumed_cycles(&self) -> Option<u64> {
         None

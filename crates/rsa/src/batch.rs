@@ -1,22 +1,37 @@
-//! Batched RSA signing and verification over the bit-sliced batch
-//! engine — the many-client serving path.
+//! Batched RSA signing, verification and decryption over the
+//! bit-sliced batch engine — the many-client serving path.
 //!
 //! One RSA key serves many requests: all lanes share the modulus `N`,
 //! which is exactly the shape `mmm-core::batch` accelerates (64
 //! signatures advance per simulated cycle; workloads wider than 64
 //! lanes shard across cores via
-//! [`mmm_core::expo_batch::modexp_many_shared`]). Like the scalar
-//! [`crate::signing`] API this is textbook RSA — no hash or padding;
-//! the exercise is the exponentiator, as in the paper.
+//! [`mmm_core::expo_batch::modexp_many_shared`]). Parameters and
+//! engines come from the process-wide per-key pool
+//! ([`mmm_core::pool`]), so repeated calls against the same key pay
+//! for no setup. Like the scalar [`crate::signing`] API this is
+//! textbook RSA — no hash or padding; the exercise is the
+//! exponentiator, as in the paper.
+//!
+//! [`decrypt_crt_batch`] is the throughput flagship: each 64-lane
+//! shard is split into **two half-width batch runs** (mod `p` and mod
+//! `q`), each scanned with the fixed-window exponentiator, and the
+//! halves are recombined per lane with Garner's formula — the
+//! standard ~4× CRT speedup the paper's future-work section alludes
+//! to, realized on the batch engine (half-width halves both the wave
+//! band per multiplication and the exponent length).
 
 use crate::keys::RsaKeyPair;
 use mmm_bigint::Ubig;
+use mmm_core::batch::MAX_LANES;
 use mmm_core::expo_batch::modexp_many_shared;
 use mmm_core::montgomery::MontgomeryParams;
+use mmm_core::pool;
+use mmm_core::BatchModExp;
+use rayon::prelude::*;
 
-/// Hardware-safe parameters for a key's modulus.
+/// Pooled hardware-safe parameters for a key's modulus.
 fn params_for(key: &RsaKeyPair) -> MontgomeryParams {
-    MontgomeryParams::hardware_safe(&key.n)
+    pool::global().params_for(&key.n)
 }
 
 /// Signs every message (reduced residues): `s_k = m_k ^ D mod N`.
@@ -45,6 +60,54 @@ pub fn verify_batch(key: &RsaKeyPair, ms: &[Ubig], sigs: &[Ubig]) -> Vec<bool> {
 /// Panics if any ciphertext is `≥ N`.
 pub fn decrypt_batch(key: &RsaKeyPair, cs: &[Ubig]) -> Vec<Ubig> {
     sign_batch(key, cs)
+}
+
+/// CRT-decrypts every ciphertext on the batch engine: per 64-lane
+/// shard, two half-width windowed batch exponentiations (`c mod p`
+/// raised to `d_p` on a mod-`p` engine, `c mod q` to `d_q` on a
+/// mod-`q` engine — both checked out warm from the per-key pool) and
+/// a per-lane Garner recombination `m = m_q + q·(q⁻¹·(m_p − m_q) mod
+/// p)`. Bit-identical to scalar [`crate::cipher::decrypt_crt`] lane
+/// for lane, ~4× cheaper than [`decrypt_batch`]: half-width shrinks
+/// the simulated wave band per multiplication *and* halves the
+/// exponent scan, and the fixed window cuts another ~35%.
+///
+/// Shards fan out across cores with rayon; results keep input order.
+///
+/// # Panics
+/// Panics if any ciphertext is `≥ N`.
+pub fn decrypt_crt_batch(key: &RsaKeyPair, cs: &[Ubig]) -> Vec<Ubig> {
+    let pool = pool::global();
+    let pparams = pool.params_for(&key.p);
+    let qparams = pool.params_for(&key.q);
+    for (k, c) in cs.iter().enumerate() {
+        assert!(c < &key.n, "lane {k}: ciphertext must be < N");
+    }
+    // Fan out over (shard × prime half): the mod-p and mod-q runs of
+    // a shard are independent, so they parallelize too — a queue of
+    // ≤ 64 ciphertexts still fills two cores instead of one.
+    let shards: Vec<&[Ubig]> = cs.chunks(MAX_LANES).collect();
+    let half_runs: Vec<(&[Ubig], &MontgomeryParams, &Ubig)> = shards
+        .iter()
+        .flat_map(|&shard| [(shard, &pparams, &key.dp), (shard, &qparams, &key.dq)])
+        .collect();
+    let halves: Vec<Vec<Ubig>> = half_runs
+        .into_par_iter()
+        .map(|(shard, params, d)| {
+            let residues: Vec<Ubig> = shard.iter().map(|c| c.rem(params.n())).collect();
+            let ds = vec![d.clone(); shard.len()];
+            BatchModExp::new(pool.checkout(params)).modexp_batch_auto(&residues, &ds)
+        })
+        .collect();
+    halves
+        .chunks(2)
+        .flat_map(|pair| {
+            let (mps, mqs) = (&pair[0], &pair[1]);
+            mps.iter()
+                .zip(mqs)
+                .map(|(mp, mq)| crate::cipher::garner(key, mp, mq))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,6 +164,55 @@ mod tests {
             .collect();
         let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&kp.e, &kp.n)).collect();
         assert_eq!(decrypt_batch(&kp, &cs), ms);
+    }
+
+    #[test]
+    fn crt_batch_matches_scalar_crt_and_plain_decrypt() {
+        use crate::cipher::decrypt_crt;
+        let kp = keypair(64, 77);
+        let mut rng = StdRng::seed_from_u64(78);
+        let ms: Vec<Ubig> = (0..9)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&kp.e, &kp.n)).collect();
+        let got = decrypt_crt_batch(&kp, &cs);
+        assert_eq!(got, ms, "roundtrip");
+        for (k, c) in cs.iter().enumerate() {
+            assert_eq!(got[k], decrypt_crt(&kp, c), "lane {k} vs scalar CRT");
+        }
+    }
+
+    #[test]
+    fn crt_batch_shards_beyond_64_lanes() {
+        let kp = keypair(32, 79);
+        let mut rng = StdRng::seed_from_u64(80);
+        let ms: Vec<Ubig> = (0..70)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&kp.e, &kp.n)).collect();
+        assert_eq!(decrypt_crt_batch(&kp, &cs), ms);
+    }
+
+    #[test]
+    fn crt_batch_edge_ciphertexts() {
+        let kp = keypair(32, 81);
+        // 0, 1, and multiples of p/q (lanes where one CRT half is 0).
+        let cs = vec![
+            Ubig::zero(),
+            Ubig::one(),
+            kp.p.clone(),
+            kp.q.clone(),
+            (&kp.n - &Ubig::one()),
+        ];
+        let want: Vec<Ubig> = cs.iter().map(|c| c.modpow(&kp.d, &kp.n)).collect();
+        assert_eq!(decrypt_crt_batch(&kp, &cs), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "ciphertext must be < N")]
+    fn crt_batch_rejects_unreduced_ciphertext() {
+        let kp = keypair(32, 82);
+        let _ = decrypt_crt_batch(&kp, std::slice::from_ref(&kp.n));
     }
 
     #[test]

@@ -24,6 +24,16 @@ pub fn decrypt<E: MontMul>(engine: E, key: &RsaKeyPair, c: &Ubig) -> Ubig {
     ModExp::new(engine).modexp(c, &key.d)
 }
 
+/// Garner's recombination: lifts the CRT halves `m_p = m mod p`,
+/// `m_q = m mod q` back to `m mod N` via
+/// `m = m_q + q·(q⁻¹·(m_p − m_q) mod p)`. Shared by the scalar
+/// [`decrypt_crt`] and the batched `mmm-rsa::decrypt_crt_batch`, so
+/// the two paths can never drift.
+pub fn garner(key: &RsaKeyPair, mp: &Ubig, mq: &Ubig) -> Ubig {
+    let h = mp.modsub(mq, &key.p).modmul(&key.qinv, &key.p);
+    mq + &(&h * &key.q)
+}
+
 /// CRT decryption (software arithmetic): two half-size
 /// exponentiations recombined with Garner's formula — the standard ~4×
 /// speedup the paper's future-work section alludes to for RSA
@@ -31,9 +41,7 @@ pub fn decrypt<E: MontMul>(engine: E, key: &RsaKeyPair, c: &Ubig) -> Ubig {
 pub fn decrypt_crt(key: &RsaKeyPair, c: &Ubig) -> Ubig {
     let mp = c.rem(&key.p).modpow(&key.dp, &key.p);
     let mq = c.rem(&key.q).modpow(&key.dq, &key.q);
-    // h = qinv · (mp − mq) mod p
-    let h = mp.modsub(&mq, &key.p).modmul(&key.qinv, &key.p);
-    &mq + &(&h * &key.q)
+    garner(key, &mp, &mq)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ pub mod cipher;
 pub mod keys;
 pub mod signing;
 
-pub use batch::{decrypt_batch, sign_batch, verify_batch};
+pub use batch::{decrypt_batch, decrypt_crt_batch, sign_batch, verify_batch};
 pub use cipher::{decrypt, decrypt_crt, encrypt};
 pub use keys::RsaKeyPair;
 pub use signing::{decrypt_blinded, sign, verify};

@@ -1,8 +1,10 @@
 //! Cross-engine property tests for the bit-sliced batch engine: every
 //! lane of a batch must be **bit-identical** to a solo run of the
 //! packed wave model, across random widths spanning `u64` word
-//! boundaries and partial batches — and the batched exponentiator must
-//! agree with the big-integer oracle.
+//! boundaries and partial batches — the batched exponentiators
+//! (binary and fixed-window) must agree with the big-integer oracle —
+//! and batched CRT decryption must match the scalar CRT path lane for
+//! lane.
 
 use montgomery_systolic::bigint::Ubig;
 use montgomery_systolic::core::batch::{mont_mul_many, BitSlicedBatch, SequentialBatch};
@@ -10,6 +12,7 @@ use montgomery_systolic::core::expo_batch::BatchModExp;
 use montgomery_systolic::core::modgen::random_safe_params;
 use montgomery_systolic::core::wave_packed::PackedMmmc;
 use montgomery_systolic::core::{BatchMontMul, MontMul};
+use montgomery_systolic::rsa::{decrypt_crt, decrypt_crt_batch, RsaKeyPair};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +72,68 @@ proptest! {
     }
 
     #[test]
+    fn windowed_batch_modexp_matches_ubig_modpow(
+        // Widths spanning the u64 word boundary, every partial batch
+        // size, every practical window width.
+        l in 30usize..100,
+        seed in any::<u64>(),
+        lane_sel in 0usize..4,
+        w in 1usize..=6
+    ) {
+        let lanes = [1usize, 3, 63, 64][lane_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let n = params.n().clone();
+        let ms: Vec<Ubig> = (0..lanes)
+            .map(|_| Ubig::random_below(&mut rng, &n))
+            .collect();
+        // Per-lane exponents of wildly different lengths (including 0).
+        let es: Vec<Ubig> = (0..lanes)
+            .map(|k| Ubig::random_bits(&mut rng, (k * 17) % (l + 1)))
+            .collect();
+        let mut me = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        let got = me.modexp_batch_windowed(&ms, &es, w);
+        for k in 0..lanes {
+            prop_assert_eq!(
+                &got[k],
+                &ms[k].modpow(&es[k], &n),
+                "w={} lane {} (exponent bits {})", w, k, es[k].bit_len()
+            );
+        }
+        // The stats ledger must stay internally consistent.
+        let s = me.stats();
+        prop_assert_eq!(
+            s.total_batch_muls,
+            s.squarings + s.multiplications + s.table_muls + 2
+        );
+    }
+
+    #[test]
+    fn crt_batch_decrypt_matches_scalar_crt(
+        // Modulus sizes whose half-width engines straddle the u64
+        // word boundary (primes of 31–66 bits).
+        bits_sel in 0usize..5,
+        seed in any::<u64>(),
+        lane_sel in 0usize..4
+    ) {
+        let bits = [62usize, 96, 124, 128, 132][bits_sel];
+        let lanes = [1usize, 3, 63, 64][lane_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = RsaKeyPair::generate(&mut rng, bits, 8);
+        let cs: Vec<Ubig> = (0..lanes)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let got = decrypt_crt_batch(&kp, &cs);
+        for k in 0..lanes {
+            prop_assert_eq!(
+                &got[k],
+                &decrypt_crt(&kp, &cs[k]),
+                "lane {} of {} at {} key bits", k, lanes, bits
+            );
+        }
+    }
+
+    #[test]
     fn batch_modexp_matches_ubig_modpow(
         l in 16usize..48,
         seed in any::<u64>(),
@@ -92,6 +157,33 @@ proptest! {
                 &ms[k].modpow(&es[k], &n),
                 "lane {} (exponent bits {})", k, es[k].bit_len()
             );
+        }
+    }
+}
+
+/// Deterministic regression: the windowed batched exponentiator at
+/// the exact word-boundary widths, full-length per-lane exponents,
+/// partial and full batches, auto-picked window.
+#[test]
+fn windowed_modexp_word_boundary_widths() {
+    let mut rng = StdRng::seed_from_u64(0xF1D0);
+    for l in [62usize, 63, 64, 65, 66, 126, 128] {
+        let params = random_safe_params(&mut rng, l);
+        let n = params.n().clone();
+        for lanes in [1usize, 3, 64] {
+            let ms: Vec<Ubig> = (0..lanes)
+                .map(|_| Ubig::random_below(&mut rng, &n))
+                .collect();
+            let es: Vec<Ubig> = (0..lanes).map(|_| Ubig::random_bits(&mut rng, l)).collect();
+            let mut me = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+            let got = me.modexp_batch_auto(&ms, &es);
+            for k in 0..lanes {
+                assert_eq!(
+                    got[k],
+                    ms[k].modpow(&es[k], &n),
+                    "l={l} lanes={lanes} lane={k}"
+                );
+            }
         }
     }
 }
