@@ -1,13 +1,18 @@
-//! Batch-vs-sequential host throughput comparison, emitting
-//! `BENCH_batch.json`.
+//! Batch-engine host throughput comparison, emitting
+//! `BENCH_batch.json` (the historical two-column series) and
+//! `BENCH_radix.json` (the radix-2⁶⁴ backend column).
 //!
 //! Measures, at l ∈ {256, 512, 1024}:
 //!
 //! * 64 sequential multiplications on the packed wave model
-//!   (`PackedMmmc`, the previous fastest engine), and
-//! * one 64-lane bit-sliced batch (`BitSlicedBatch`),
+//!   (`PackedMmmc`, the fastest solo bit-serial engine),
+//! * one 64-lane bit-sliced batch (`BitSlicedBatch`), and
+//! * one 64-lane radix-2⁶⁴ CIOS batch (`CiosBatch`, the production
+//!   backend),
 //!
-//! and reports multiplications per second plus the speedup. Run with
+//! and reports multiplications per second plus the speedups. The
+//! three engines are verified bit-identical on the measured operands
+//! before any timing. Run with
 //! `cargo run --release -p mmm-bench --bin compare_batch`
 //! (`-- --quick` shrinks the widths and budget to a CI smoke run and
 //! skips the JSON).
@@ -15,6 +20,7 @@
 use mmm_bench::hosttime::time_ns_per_call;
 use mmm_bigint::Ubig;
 use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
+use mmm_core::cios::CiosBatch;
 use mmm_core::modgen::{random_operand, random_safe_params};
 use mmm_core::traits::{BatchMontMul, MontMul};
 use mmm_core::wave_packed::PackedMmmc;
@@ -26,7 +32,9 @@ struct Row {
     l: usize,
     seq_ns_per_mul: f64,
     batch_ns_per_mul: f64,
+    cios_ns_per_mul: f64,
     speedup: f64,
+    cios_speedup: f64,
 }
 
 fn main() {
@@ -39,10 +47,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xBA7C);
     let mut rows = Vec::new();
 
-    println!("batch vs sequential packed wave model ({MAX_LANES} lanes)");
+    println!("batch engines vs sequential packed wave model ({MAX_LANES} lanes)");
     println!(
-        "{:>6} {:>16} {:>16} {:>9}",
-        "l", "seq ns/mul", "batch ns/mul", "speedup"
+        "{:>6} {:>16} {:>16} {:>16} {:>9} {:>9}",
+        "l", "seq ns/mul", "batch ns/mul", "cios ns/mul", "batch x", "cios x"
     );
     for &l in sizes {
         let params = random_safe_params(&mut rng, l);
@@ -54,33 +62,56 @@ fn main() {
             .collect();
 
         let mut packed = PackedMmmc::new(params.clone());
+        let mut batch = BitSlicedBatch::new(params.clone());
+        let mut cios = CiosBatch::new(params.clone());
+
+        // Correctness gate: all three engines bit-identical on the
+        // exact operands about to be timed.
+        {
+            let want = batch.mont_mul_batch(&xs, &ys);
+            assert_eq!(cios.mont_mul_batch(&xs, &ys), want, "cios oracle l={l}");
+            for k in 0..MAX_LANES {
+                assert_eq!(packed.mont_mul(&xs[k], &ys[k]), want[k], "packed lane {k}");
+            }
+        }
+
         let seq_ns = time_ns_per_call(budget_ms, || {
             for (x, y) in xs.iter().zip(&ys) {
                 black_box(packed.mont_mul(black_box(x), black_box(y)));
             }
         }) / MAX_LANES as f64;
 
-        let mut batch = BitSlicedBatch::new(params.clone());
         let batch_ns = time_ns_per_call(budget_ms, || {
             black_box(batch.mont_mul_batch(black_box(&xs), black_box(&ys)));
         }) / MAX_LANES as f64;
 
+        let cios_ns = time_ns_per_call(budget_ms, || {
+            black_box(cios.mont_mul_batch(black_box(&xs), black_box(&ys)));
+        }) / MAX_LANES as f64;
+
         let speedup = seq_ns / batch_ns;
-        println!("{l:>6} {seq_ns:>16.1} {batch_ns:>16.1} {speedup:>8.2}x");
+        let cios_speedup = batch_ns / cios_ns;
+        println!(
+            "{l:>6} {seq_ns:>16.1} {batch_ns:>16.1} {cios_ns:>16.1} {speedup:>8.2}x {cios_speedup:>8.2}x"
+        );
         rows.push(Row {
             l,
             seq_ns_per_mul: seq_ns,
             batch_ns_per_mul: batch_ns,
+            cios_ns_per_mul: cios_ns,
             speedup,
+            cios_speedup,
         });
     }
 
     if quick {
-        println!("\nquick mode: smoke run only, BENCH_batch.json not written");
+        println!("\nquick mode: smoke run only, BENCH JSON not written");
         return;
     }
 
     // Hand-rolled JSON (no serde in the sanctioned dependency set).
+    // BENCH_batch.json keeps the historical schema; BENCH_radix.json
+    // carries the radix-2^64 column and its speedup over bit-sliced.
     let mut json = String::from("{\n  \"bench\": \"batch_vs_sequential_packed\",\n");
     json.push_str(&format!("  \"lanes\": {MAX_LANES},\n  \"rows\": [\n"));
     for (i, r) in rows.iter().enumerate() {
@@ -95,5 +126,21 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
-    println!("\nwrote BENCH_batch.json");
+
+    let mut json = String::from("{\n  \"bench\": \"radix64_cios_vs_bit_sliced\",\n");
+    json.push_str(&format!("  \"lanes\": {MAX_LANES},\n  \"rows\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"l\": {}, \"bitsliced_ns_per_mul\": {:.1}, \"cios_ns_per_mul\": {:.1}, \"cios_speedup_vs_bitsliced\": {:.2}, \"cios_speedup_vs_sequential_packed\": {:.2}}}{}\n",
+            r.l,
+            r.batch_ns_per_mul,
+            r.cios_ns_per_mul,
+            r.cios_speedup,
+            r.seq_ns_per_mul / r.cios_ns_per_mul,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_radix.json", &json).expect("write BENCH_radix.json");
+    println!("\nwrote BENCH_batch.json and BENCH_radix.json");
 }

@@ -14,6 +14,15 @@
 //!   windowed batch exponentiations recombined with Garner per lane
 //!   (the full serving path, pool-backed).
 //!
+//! **Backend note.** The `always`/`window` columns pin the bit-sliced
+//! engine (they are the PR 1/PR 2 bit-serial baselines), while
+//! `crt_window` runs the **process-default dispatch backend** — the
+//! radix-2⁶⁴ CIOS scan since PR 3 — so its speedup column includes
+//! the multiplier change, not just CRT + windowing. The JSON records
+//! which backend the crt column ran (`crt_backend`); set
+//! `MMM_ENGINE=bitsliced` to reproduce the historical bit-serial CRT
+//! rows (~4.7× at 1024-bit keys).
+//!
 //! It also measures generic batched modexp with **per-lane** random
 //! exponents (the mixed-traffic shape), multiply-always vs windowed —
 //! the clean windowing comparison. With one shared exponent the
@@ -33,8 +42,8 @@ use mmm_bigint::Ubig;
 use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
 use mmm_core::expo_window::best_fixed_window;
 use mmm_core::montgomery::MontgomeryParams;
-use mmm_core::BatchModExp;
-use mmm_rsa::{decrypt_crt_batch, RsaKeyPair};
+use mmm_core::{BatchModExp, EngineKind};
+use mmm_rsa::{decrypt_crt_batch, decrypt_crt_batch_with, sign_batch_with, RsaKeyPair};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -60,7 +69,8 @@ fn main() {
     let mut rows = Vec::new();
 
     println!(
-        "CRT + windowed batch decryption vs PR 1 full-width multiply-always ({MAX_LANES} lanes)"
+        "CRT + windowed batch decryption vs PR 1 full-width multiply-always ({MAX_LANES} lanes; crt column on the {} backend)",
+        EngineKind::default_kind().name()
     );
     println!(
         "{:>6} {:>3} {:>16} {:>16} {:>16} {:>10} {:>10} {:>10}",
@@ -85,7 +95,10 @@ fn main() {
         let window = best_fixed_window(key.d.bit_len());
 
         // Correctness gate: all three paths bit-identical to the
-        // scalar oracle before any timing.
+        // scalar oracle before any timing — and the backend-dispatch
+        // entry points on **every** engine kind, so a CI smoke run
+        // catches engine-selection regressions, not just the default
+        // engine's arithmetic.
         {
             let mut always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
             assert_eq!(always.modexp_batch(&cs, &ds), ms, "multiply-always oracle");
@@ -95,7 +108,23 @@ fn main() {
                 ms,
                 "windowed oracle"
             );
-            assert_eq!(decrypt_crt_batch(&key, &cs), ms, "CRT oracle");
+            assert_eq!(
+                decrypt_crt_batch(&key, &cs),
+                ms,
+                "CRT oracle (default kind)"
+            );
+            for kind in EngineKind::ALL {
+                assert_eq!(
+                    decrypt_crt_batch_with(&key, &cs, kind),
+                    ms,
+                    "CRT dispatch oracle ({})",
+                    kind.name()
+                );
+            }
+            // Signatures must agree bit-for-bit across backends.
+            let sig_cios = sign_batch_with(&key, &ms, EngineKind::Cios);
+            let sig_bits = sign_batch_with(&key, &ms, EngineKind::BitSliced);
+            assert_eq!(sig_cios, sig_bits, "sign dispatch cross-backend");
         }
 
         let mut engine_always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
@@ -163,7 +192,10 @@ fn main() {
 
     // Hand-rolled JSON (no serde in the sanctioned dependency set).
     let mut json = String::from("{\n  \"bench\": \"crt_window_vs_full_multiply_always\",\n");
-    json.push_str(&format!("  \"lanes\": {MAX_LANES},\n  \"rows\": [\n"));
+    json.push_str(&format!(
+        "  \"lanes\": {MAX_LANES},\n  \"crt_backend\": \"{}\",\n  \"rows\": [\n",
+        EngineKind::default_kind().name()
+    ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"l\": {}, \"window\": {}, \"full_always_ns_per_op\": {:.0}, \"full_window_ns_per_op\": {:.0}, \"crt_window_ns_per_op\": {:.0}, \"modexp_always_ns_per_op\": {:.0}, \"modexp_window_ns_per_op\": {:.0}, \"window_speedup\": {:.2}, \"crt_speedup\": {:.2}, \"modexp_window_speedup\": {:.2}}}{}\n",

@@ -4,7 +4,7 @@
 //! Operator impls are provided for both owned and borrowed operands so
 //! call sites can avoid clones in hot paths.
 
-use crate::limbs::{adc, mac, sbb, Limb, LIMB_BITS};
+use crate::limbs::{adc, mac_with_carry, sbb, Limb, LIMB_BITS};
 use crate::ubig::Ubig;
 use std::ops::{Add, Mul, Shl, Shr, Sub};
 
@@ -149,7 +149,7 @@ fn schoolbook(a: &Ubig, b: &Ubig) -> Ubig {
     for (i, &ai) in a.limbs.iter().enumerate() {
         let mut carry = 0 as Limb;
         for (j, &bj) in b.limbs.iter().enumerate() {
-            let (lo, hi) = mac(ai, bj, out[i + j], carry);
+            let (lo, hi) = mac_with_carry(ai, bj, out[i + j], carry);
             out[i + j] = lo;
             carry = hi;
         }

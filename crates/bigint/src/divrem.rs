@@ -1,7 +1,7 @@
 //! Division with remainder: single-limb short division and Knuth
 //! Algorithm D for multi-limb divisors.
 
-use crate::limbs::{div2by1, Limb, LIMB_BITS};
+use crate::limbs::{carrying_mul, div2by1, Limb, LIMB_BITS};
 use crate::ubig::Ubig;
 use std::ops::{Div, Rem};
 
@@ -96,9 +96,9 @@ fn knuth_d(u: &Ubig, v: &Ubig) -> (Ubig, Ubig) {
         let mut borrow = 0 as Limb; // borrow out of the subtraction chain
         let mut mul_carry = 0 as Limb;
         for i in 0..n {
-            let prod = (qhat as u128) * (vn.limbs[i] as u128) + mul_carry as u128;
-            mul_carry = (prod >> LIMB_BITS) as Limb;
-            let (d1, b1) = un[j + i].overflowing_sub(prod as Limb);
+            let (prod_lo, prod_hi) = carrying_mul(qhat, vn.limbs[i], mul_carry);
+            mul_carry = prod_hi;
+            let (d1, b1) = un[j + i].overflowing_sub(prod_lo);
             let (d2, b2) = d1.overflowing_sub(borrow);
             un[j + i] = d2;
             borrow = (b1 | b2) as Limb;

@@ -24,13 +24,26 @@ pub fn sbb(a: Limb, b: Limb, borrow: bool) -> (Limb, bool) {
     (d2, b1 | b2)
 }
 
-/// `a * b + c + d` as a double-width result `(lo, hi)`.
+/// `a * b + carry` as a double-width result `(lo, hi)` — the widening
+/// multiply every scan loop (division, CIOS Montgomery) is built from.
 ///
-/// The identity `max(a)*max(b) + max(c) + max(d) = 2^128 - 1` guarantees
-/// this never overflows the `u128` intermediate.
+/// `max(a)*max(b) + max(carry) = 2^128 - 2^64` never overflows the
+/// `u128` intermediate.
 #[inline]
-pub fn mac(a: Limb, b: Limb, c: Limb, d: Limb) -> (Limb, Limb) {
-    let wide = (a as u128) * (b as u128) + (c as u128) + (d as u128);
+pub fn carrying_mul(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
+    let wide = (a as u128) * (b as u128) + (carry as u128);
+    (wide as Limb, (wide >> LIMB_BITS) as Limb)
+}
+
+/// `a * b + acc + carry` as a double-width result `(lo, hi)` — the
+/// multiply-accumulate step of schoolbook multiplication and the CIOS
+/// Montgomery inner loops.
+///
+/// The identity `max(a)*max(b) + max(acc) + max(carry) = 2^128 - 1`
+/// guarantees this never overflows the `u128` intermediate.
+#[inline]
+pub fn mac_with_carry(a: Limb, b: Limb, acc: Limb, carry: Limb) -> (Limb, Limb) {
+    let wide = (a as u128) * (b as u128) + (acc as u128) + (carry as u128);
     (wide as Limb, (wide >> LIMB_BITS) as Limb)
 }
 
@@ -83,10 +96,46 @@ mod tests {
 
     #[test]
     fn mac_extremes_do_not_overflow() {
-        let (lo, hi) = mac(Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX);
+        let (lo, hi) = mac_with_carry(Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX);
         // (2^64-1)^2 + 2(2^64-1) = 2^128 - 1
         assert_eq!(lo, Limb::MAX);
         assert_eq!(hi, Limb::MAX);
+    }
+
+    #[test]
+    fn carrying_mul_matches_u128() {
+        for (a, b, c) in [
+            (0 as Limb, 0 as Limb, 0 as Limb),
+            (3, 5, 7),
+            (Limb::MAX, Limb::MAX, Limb::MAX),
+            (0x9E37_79B9_7F4A_7C15, 0xDEAD_BEEF_CAFE_F00D, 42),
+        ] {
+            let (lo, hi) = carrying_mul(a, b, c);
+            let wide = (a as u128) * (b as u128) + (c as u128);
+            assert_eq!(lo as u128, wide & (u64::MAX as u128), "a={a} b={b}");
+            assert_eq!(hi as u128, wide >> LIMB_BITS, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mac_with_carry_matches_u128() {
+        for (a, b, c, d) in [
+            (0 as Limb, 0 as Limb, 0 as Limb, 0 as Limb),
+            (3, 5, 7, 11),
+            (Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX),
+            (1 << 63, 2, 1, 1),
+        ] {
+            let (lo, hi) = mac_with_carry(a, b, c, d);
+            let wide = (a as u128) * (b as u128) + (c as u128) + (d as u128);
+            assert_eq!(lo as u128, wide & (u64::MAX as u128), "a={a} b={b}");
+            assert_eq!(hi as u128, wide >> LIMB_BITS, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn carrying_mul_is_mac_with_zero_accumulator() {
+        let (a, b, c) = (0x0123_4567_89AB_CDEF as Limb, 0xFEDC_BA98_7654_3210, 99);
+        assert_eq!(carrying_mul(a, b, c), mac_with_carry(a, b, 0, c));
     }
 
     #[test]

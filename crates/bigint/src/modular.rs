@@ -131,6 +131,26 @@ impl Ubig {
     /// `2^k`. Requires `self` odd.
     pub fn neg_inv_pow2(&self, k: usize) -> Ubig {
         assert!(self.is_odd(), "N must be odd for Montgomery arithmetic");
+        if k <= crate::limbs::LIMB_BITS {
+            // Single-limb fast path (the k = 64 CIOS `n0'` case): the
+            // whole Newton–Hensel ladder fits in wrapping u64 ops.
+            let n0 = self.limbs.first().copied().unwrap_or(0);
+            let mut x = 1u64; // inverse mod 2
+            for _ in 0..6 {
+                // Each step doubles the valid bit count: 2, 4, …, 64.
+                x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+            }
+            let inv = if k == crate::limbs::LIMB_BITS {
+                x
+            } else {
+                x & ((1u64 << k) - 1)
+            };
+            return if inv == 0 {
+                Ubig::zero()
+            } else {
+                Ubig::pow2(k) - &Ubig::from(inv)
+            };
+        }
         // Newton–Hensel lifting: x_{i+1} = x_i (2 - N x_i) mod 2^{2^i}.
         let modulus_bits = k;
         let mut x = Ubig::one(); // inverse mod 2
@@ -289,6 +309,21 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn neg_inv_pow2_rejects_even() {
         ub(4).neg_inv_pow2(8);
+    }
+
+    #[test]
+    fn neg_inv_pow2_fast_path_agrees_across_word_boundary() {
+        // k = 64 exercises the single-limb Newton ladder, k = 65 the
+        // generic Ubig ladder; on a shared prefix they must agree.
+        let n = ub(0xF123_4567_89AB_CDF1_0000_0000_0000_0001);
+        let w64 = n.neg_inv_pow2(64);
+        let w65 = n.neg_inv_pow2(65);
+        assert_eq!(w65.low_bits(64), w64, "restriction mod 2^64");
+        for k in [1usize, 7, 31, 63, 64] {
+            let nprime = n.neg_inv_pow2(k);
+            let prod = (&n * &nprime).low_bits(k);
+            assert_eq!(prod, Ubig::pow2(k) - &Ubig::one(), "k={k}");
+        }
     }
 }
 

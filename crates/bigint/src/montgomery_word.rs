@@ -8,7 +8,7 @@
 //! cross-checking the systolic engines against this one catches errors
 //! that a shared-code oracle could not.
 
-use crate::limbs::{mac, Limb, LIMB_BITS};
+use crate::limbs::{adc, carrying_mul, mac_with_carry, Limb, LIMB_BITS};
 use crate::ubig::Ubig;
 
 /// A Montgomery multiplication context for a fixed odd modulus, word
@@ -69,23 +69,23 @@ impl WordMontgomery {
             // t += x_i * y
             let mut carry = 0 as Limb;
             for j in 0..s {
-                let (lo, hi) = mac(xi, yl[j], t[j], carry);
+                let (lo, hi) = mac_with_carry(xi, yl[j], t[j], carry);
                 t[j] = lo;
                 carry = hi;
             }
-            let (sum, c) = t[s].overflowing_add(carry);
+            let (sum, c) = adc(t[s], carry, false);
             t[s] = sum;
             t[s + 1] = c as Limb;
 
             // m = t_0 * n0_inv mod 2^64 ; t += m * N ; t /= 2^64
             let m = t[0].wrapping_mul(self.n0_inv);
-            let (_, mut hi) = mac(m, nl[0], t[0], 0);
+            let (_, mut hi) = carrying_mul(m, nl[0], t[0]);
             for j in 1..s {
-                let (lo, h) = mac(m, nl[j], t[j], hi);
+                let (lo, h) = mac_with_carry(m, nl[j], t[j], hi);
                 t[j - 1] = lo;
                 hi = h;
             }
-            let (sum, c) = t[s].overflowing_add(hi);
+            let (sum, c) = adc(t[s], hi, false);
             t[s - 1] = sum;
             t[s] = t[s + 1] + c as Limb;
             t[s + 1] = 0;

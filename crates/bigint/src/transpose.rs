@@ -15,6 +15,13 @@
 //! Both conversions work limb-at-a-time through `transpose64`, so a
 //! full 64-lane × 1024-bit conversion is ~16 block transposes — noise
 //! next to the `3l+4` simulated cycles it feeds.
+//!
+//! The module also provides the **word-granularity** struct-of-arrays
+//! views used by the radix-2⁶⁴ CIOS batch engine
+//! ([`lanes_to_limbs_into`] / [`limbs_to_lanes_into`]): instead of one
+//! `u64` per *bit* position they store one `u64` per *(limb, lane)*
+//! pair with the lane index contiguous, so the CIOS inner
+//! multiply-accumulate runs unit-stride across lanes.
 
 use crate::limbs::LIMB_BITS;
 use crate::ubig::Ubig;
@@ -126,6 +133,66 @@ pub fn slices_to_lanes(slices: &[u64], lanes: usize) -> Vec<Ubig> {
     let mut out = Vec::with_capacity(lanes);
     slices_to_lanes_into(slices, lanes, &mut out);
     out
+}
+
+/// Scatters lane operands into the **struct-of-arrays limb layout**
+/// used by the radix-2⁶⁴ CIOS batch engine: `out[j*stride + k]` is
+/// limb `j` of `values[k]`, so the per-limb rows are contiguous and a
+/// loop over lanes at fixed `j` is a unit-stride (auto-vectorizable)
+/// scan. Lanes `values.len()..stride` are zero-filled. `out` is
+/// resized to `limbs * stride` and fully overwritten — allocation-free
+/// once its capacity is warm.
+///
+/// # Panics
+/// Panics if more lanes than `stride` are given or any value needs
+/// more than `limbs` limbs.
+pub fn lanes_to_limbs_into(values: &[Ubig], limbs: usize, stride: usize, out: &mut Vec<u64>) {
+    assert!(
+        values.len() <= stride,
+        "at most {stride} lanes fit this stride"
+    );
+    for (k, v) in values.iter().enumerate() {
+        assert!(
+            v.limbs.len() <= limbs,
+            "lane {k} has {} limbs but the SoA view holds {limbs}",
+            v.limbs.len()
+        );
+    }
+    out.clear();
+    out.resize(limbs * stride, 0);
+    for (k, v) in values.iter().enumerate() {
+        for (j, &limb) in v.limbs.iter().enumerate() {
+            out[j * stride + k] = limb;
+        }
+    }
+}
+
+/// Inverse of [`lanes_to_limbs_into`]: gathers the first `lanes` lanes
+/// out of a struct-of-arrays limb view (`soa[j*stride + k]` is limb
+/// `j` of lane `k`). Like [`slices_to_lanes_into`] the output vector's
+/// `Ubig` limb buffers are recycled across calls, so a warm call
+/// performs no heap allocation.
+///
+/// # Panics
+/// Panics if `lanes > stride` or `soa.len() != limbs * stride`.
+pub fn limbs_to_lanes_into(
+    soa: &[u64],
+    limbs: usize,
+    stride: usize,
+    lanes: usize,
+    out: &mut Vec<Ubig>,
+) {
+    assert!(lanes <= stride, "at most {stride} lanes fit this stride");
+    assert_eq!(soa.len(), limbs * stride, "SoA view has the wrong shape");
+    out.resize_with(lanes, Ubig::default);
+    for (k, lane) in out.iter_mut().enumerate() {
+        lane.limbs.clear();
+        lane.limbs.resize(limbs, 0);
+        for j in 0..limbs {
+            lane.limbs[j] = soa[j * stride + k];
+        }
+        lane.normalize();
+    }
 }
 
 #[cfg(test)]
@@ -241,5 +308,49 @@ mod tests {
     fn rejects_too_many_lanes() {
         let values: Vec<Ubig> = (0..65).map(|i| Ubig::from(i as u64)).collect();
         let _ = lanes_to_slices(&values, 8);
+    }
+
+    #[test]
+    fn limb_soa_roundtrip_and_layout() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut soa = Vec::new();
+        let mut back = Vec::new();
+        for (limbs, stride) in [(1usize, 4usize), (3, 64), (17, 64), (2, 2)] {
+            for lanes in [1usize, 2usize.min(stride), stride] {
+                let values: Vec<Ubig> = (0..lanes)
+                    .map(|k| Ubig::random_bits(&mut rng, (limbs * 64).min(k * 37 + 1)))
+                    .collect();
+                lanes_to_limbs_into(&values, limbs, stride, &mut soa);
+                assert_eq!(soa.len(), limbs * stride);
+                // Layout: row j holds limb j of every lane, zero-padded.
+                for j in 0..limbs {
+                    for k in 0..stride {
+                        let want = if k < lanes {
+                            values[k].limbs().get(j).copied().unwrap_or(0)
+                        } else {
+                            0
+                        };
+                        assert_eq!(soa[j * stride + k], want, "j={j} k={k}");
+                    }
+                }
+                limbs_to_lanes_into(&soa, limbs, stride, lanes, &mut back);
+                assert_eq!(back, values, "limbs={limbs} stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes fit this stride")]
+    fn limb_soa_rejects_too_many_lanes() {
+        let values: Vec<Ubig> = (0..5).map(|i| Ubig::from(i as u64)).collect();
+        let mut soa = Vec::new();
+        lanes_to_limbs_into(&values, 1, 4, &mut soa);
+    }
+
+    #[test]
+    #[should_panic(expected = "limbs but the SoA view")]
+    fn limb_soa_rejects_oversized_lane() {
+        let mut soa = Vec::new();
+        lanes_to_limbs_into(&[Ubig::pow2(64)], 1, 4, &mut soa);
     }
 }

@@ -48,6 +48,7 @@
 //! workloads wider than 64 lanes, [`mont_mul_many`] shards across
 //! engines with rayon.
 
+use crate::engine::EngineKind;
 use crate::montgomery::MontgomeryParams;
 use crate::pool;
 use crate::traits::{BatchMontMul, MontMul};
@@ -348,13 +349,31 @@ impl<E: MontMul> BatchMontMul for SequentialBatch<E> {
 /// with rayon (results keep input order). Engines are checked out of
 /// the process-wide [`pool`] keyed by `params`, so repeated calls stop
 /// rebuilding parameters and reallocating lane state — each worker
-/// reuses a warm [`BitSlicedBatch`].
+/// reuses a warm engine of the **process-default backend**
+/// ([`crate::engine::EngineKind::default_kind`], the radix-2⁶⁴ CIOS
+/// scan); [`mont_mul_many_with`] selects a backend explicitly. Every
+/// backend returns bit-identical results.
 pub fn mont_mul_many(params: &MontgomeryParams, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+    mont_mul_many_with(params, xs, ys, EngineKind::default_kind())
+}
+
+/// [`mont_mul_many`] on an explicit backend — the cross-checking and
+/// wave-model-experiment entry point.
+pub fn mont_mul_many_with(
+    params: &MontgomeryParams,
+    xs: &[Ubig],
+    ys: &[Ubig],
+    kind: EngineKind,
+) -> Vec<Ubig> {
     assert_eq!(xs.len(), ys.len(), "operand count mismatch");
     let shards: Vec<(&[Ubig], &[Ubig])> = xs.chunks(MAX_LANES).zip(ys.chunks(MAX_LANES)).collect();
     shards
         .into_par_iter()
-        .map(|(sx, sy)| pool::global().checkout(params).mont_mul_batch(sx, sy))
+        .map(|(sx, sy)| {
+            pool::global()
+                .checkout_kind(params, kind)
+                .mont_mul_batch(sx, sy)
+        })
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()
         .flatten()

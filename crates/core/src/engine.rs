@@ -1,0 +1,210 @@
+//! Backend dispatch: one [`EngineKind`] switch selecting which batch
+//! Montgomery multiplier runs under every pooled entry point
+//! (`mont_mul_many`, `modexp_many*`, the `mmm-rsa` batch API).
+//!
+//! Every backend implements the identical Algorithm-2 contract and
+//! produces **bit-identical** results lane for lane (asserted by
+//! `tests/radix_backend.rs`), so dispatch is purely a performance
+//! decision:
+//!
+//! * [`EngineKind::Cios`] — the radix-2⁶⁴ word-serial scan
+//!   ([`crate::cios::CiosBatch`]), the production default (~2·(l/64)²
+//!   u64 MACs per multiplication);
+//! * [`EngineKind::BitSliced`] — the bit-serial systolic-array
+//!   simulation ([`crate::batch::BitSlicedBatch`]), retained as the
+//!   cycle-accurate fidelity oracle and for wave-model experiments
+//!   (~l² single-bit cell updates per multiplication).
+//!
+//! The process-wide default is [`EngineKind::default_kind`]: CIOS,
+//! overridable once per process with `MMM_ENGINE=bitsliced` (or
+//! `MMM_ENGINE=cios`) — useful for A/B runs of the full serving path
+//! without touching call sites. Call-site selection uses the `*_with`
+//! variants of the entry points or [`EnginePool::checkout_kind`][crate::pool::EnginePool::checkout_kind].
+
+use crate::batch::BitSlicedBatch;
+use crate::cios::CiosBatch;
+use crate::montgomery::MontgomeryParams;
+use crate::traits::BatchMontMul;
+use mmm_bigint::Ubig;
+use std::sync::OnceLock;
+
+/// Which batch Montgomery multiplication backend to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Radix-2⁶⁴ CIOS word scan — the production serving backend.
+    #[default]
+    Cios,
+    /// Bit-sliced systolic-array simulation — the cycle-accurate
+    /// fidelity oracle (requires hardware-safe parameters).
+    BitSliced,
+}
+
+impl EngineKind {
+    /// Every backend, for cross-checking sweeps.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Cios, EngineKind::BitSliced];
+
+    /// Short stable name (also the accepted `MMM_ENGINE` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Cios => "cios",
+            EngineKind::BitSliced => "bitsliced",
+        }
+    }
+
+    /// The process-wide default backend: [`EngineKind::Cios`], unless
+    /// the `MMM_ENGINE` environment variable selects otherwise
+    /// (`cios` / `bitsliced`, read once per process).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized `MMM_ENGINE` value — a typo must not
+    /// silently turn an A/B comparison into CIOS-vs-CIOS.
+    pub fn default_kind() -> EngineKind {
+        static FROM_ENV: OnceLock<EngineKind> = OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("MMM_ENGINE").as_deref() {
+            Ok("bitsliced") | Ok("bit-sliced") => EngineKind::BitSliced,
+            Ok("cios") | Err(std::env::VarError::NotPresent) => EngineKind::Cios,
+            Ok(other) => panic!("unrecognized MMM_ENGINE value {other:?} (use cios|bitsliced)"),
+            Err(e) => panic!("unreadable MMM_ENGINE value: {e}"),
+        })
+    }
+
+    /// Builds a fresh engine of this kind for `params`.
+    ///
+    /// # Panics
+    /// Panics (from `BitSlicedBatch::new`) if the bit-sliced backend is
+    /// requested for parameters that are not hardware-safe; the CIOS
+    /// backend accepts any valid parameters.
+    pub fn build(self, params: MontgomeryParams) -> AnyBatchEngine {
+        match self {
+            EngineKind::Cios => AnyBatchEngine::Cios(CiosBatch::new(params)),
+            EngineKind::BitSliced => AnyBatchEngine::BitSliced(BitSlicedBatch::new(params)),
+        }
+    }
+}
+
+/// A batch engine of either backend behind one concrete type — what
+/// the per-key pool stores and hands out, so pooled call sites stay
+/// monomorphic while the backend varies at runtime.
+#[derive(Debug, Clone)]
+pub enum AnyBatchEngine {
+    /// Radix-2⁶⁴ CIOS backend.
+    Cios(CiosBatch),
+    /// Bit-sliced systolic simulation backend.
+    BitSliced(BitSlicedBatch),
+}
+
+impl AnyBatchEngine {
+    /// Which backend this engine is.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyBatchEngine::Cios(_) => EngineKind::Cios,
+            AnyBatchEngine::BitSliced(_) => EngineKind::BitSliced,
+        }
+    }
+
+    /// Zeroes any per-loan observable state (the bit-sliced cycle
+    /// counter); recycled engines must look freshly built.
+    pub fn reset_loan_state(&mut self) {
+        if let AnyBatchEngine::BitSliced(e) = self {
+            e.reset_cycle_counter();
+        }
+    }
+}
+
+impl BatchMontMul for AnyBatchEngine {
+    fn params(&self) -> &MontgomeryParams {
+        match self {
+            AnyBatchEngine::Cios(e) => e.params(),
+            AnyBatchEngine::BitSliced(e) => BatchMontMul::params(e),
+        }
+    }
+
+    fn max_lanes(&self) -> usize {
+        match self {
+            AnyBatchEngine::Cios(e) => e.max_lanes(),
+            AnyBatchEngine::BitSliced(e) => e.max_lanes(),
+        }
+    }
+
+    fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+        match self {
+            AnyBatchEngine::Cios(e) => e.mont_mul_batch(xs, ys),
+            AnyBatchEngine::BitSliced(e) => e.mont_mul_batch(xs, ys),
+        }
+    }
+
+    fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
+        match self {
+            AnyBatchEngine::Cios(e) => BatchMontMul::mont_mul_batch_into(e, xs, ys, out),
+            AnyBatchEngine::BitSliced(e) => BatchMontMul::mont_mul_batch_into(e, xs, ys, out),
+        }
+    }
+
+    fn consumed_cycles(&self) -> Option<u64> {
+        match self {
+            // The CIOS scan is a software backend, not cycle-accurate.
+            AnyBatchEngine::Cios(_) => None,
+            AnyBatchEngine::BitSliced(e) => e.consumed_cycles(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyBatchEngine::Cios(e) => e.name(),
+            AnyBatchEngine::BitSliced(e) => e.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modgen::{random_operand, random_safe_params};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_kind_is_cios_unless_env_overrides() {
+        // Pin the actual dispatch default (not just the derive): with
+        // MMM_ENGINE unset — the CI case — default_kind() must be the
+        // word-serial production backend; under the documented A/B
+        // override it must follow the variable.
+        let want = match std::env::var("MMM_ENGINE").as_deref() {
+            Ok("bitsliced") | Ok("bit-sliced") => EngineKind::BitSliced,
+            _ => EngineKind::Cios,
+        };
+        assert_eq!(EngineKind::default_kind(), want);
+        assert_eq!(EngineKind::default(), EngineKind::Cios, "derive default");
+    }
+
+    #[test]
+    fn kinds_build_matching_engines() {
+        let mut rng = StdRng::seed_from_u64(601);
+        let p = random_safe_params(&mut rng, 24);
+        for kind in EngineKind::ALL {
+            let engine = kind.build(p.clone());
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.max_lanes(), 64);
+            assert_eq!(BatchMontMul::params(&engine), &p);
+        }
+    }
+
+    #[test]
+    fn both_backends_agree_through_the_dispatch_type() {
+        let mut rng = StdRng::seed_from_u64(602);
+        let p = random_safe_params(&mut rng, 40);
+        let xs: Vec<Ubig> = (0..10).map(|_| random_operand(&mut rng, &p)).collect();
+        let ys: Vec<Ubig> = (0..10).map(|_| random_operand(&mut rng, &p)).collect();
+        let mut cios = EngineKind::Cios.build(p.clone());
+        let mut bits = EngineKind::BitSliced.build(p.clone());
+        assert_eq!(cios.mont_mul_batch(&xs, &ys), bits.mont_mul_batch(&xs, &ys));
+        assert_eq!(cios.consumed_cycles(), None);
+        assert!(bits.consumed_cycles().is_some());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EngineKind::Cios.name(), "cios");
+        assert_eq!(EngineKind::BitSliced.name(), "bitsliced");
+    }
+}

@@ -41,6 +41,7 @@
 //! serving path used by `mmm-rsa`'s batched sign/verify/decrypt.
 
 use crate::batch::MAX_LANES;
+use crate::engine::EngineKind;
 use crate::expo_window::best_fixed_window;
 use crate::montgomery::MontgomeryParams;
 use crate::pool;
@@ -310,17 +311,32 @@ impl<E: BatchMontMul> BatchModExp<E> {
 
 /// Modular exponentiation for arbitrarily many lanes: shards into
 /// 64-lane batches fanned out across cores with rayon, each shard on
-/// a warm engine checked out of the per-key [`pool`] and scanned with
-/// the auto-tuned fixed window. Results keep input order.
+/// a warm engine of the **process-default backend**
+/// ([`EngineKind::default_kind`], the radix-2⁶⁴ CIOS scan) checked out
+/// of the per-key [`pool`] and scanned with the auto-tuned fixed
+/// window. Results keep input order; [`modexp_many_with`] selects a
+/// backend explicitly, and every backend is bit-identical.
 ///
 /// # Panics
 /// Panics if `ms` and `es` differ in length or any message is `≥ N`.
 pub fn modexp_many(params: &MontgomeryParams, ms: &[Ubig], es: &[Ubig]) -> Vec<Ubig> {
+    modexp_many_with(params, ms, es, EngineKind::default_kind())
+}
+
+/// [`modexp_many`] on an explicit backend.
+pub fn modexp_many_with(
+    params: &MontgomeryParams,
+    ms: &[Ubig],
+    es: &[Ubig],
+    kind: EngineKind,
+) -> Vec<Ubig> {
     assert_eq!(ms.len(), es.len(), "message/exponent count mismatch");
     let shards: Vec<(&[Ubig], &[Ubig])> = ms.chunks(MAX_LANES).zip(es.chunks(MAX_LANES)).collect();
     shards
         .into_par_iter()
-        .map(|(sm, se)| BatchModExp::new(pool::global().checkout(params)).modexp_batch_auto(sm, se))
+        .map(|(sm, se)| {
+            BatchModExp::new(pool::global().checkout_kind(params, kind)).modexp_batch_auto(sm, se)
+        })
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()
         .flatten()
@@ -336,12 +352,22 @@ pub fn modexp_many(params: &MontgomeryParams, ms: &[Ubig], es: &[Ubig]) -> Vec<U
 /// # Panics
 /// Panics if any message is `≥ N`.
 pub fn modexp_many_shared(params: &MontgomeryParams, ms: &[Ubig], e: &Ubig) -> Vec<Ubig> {
+    modexp_many_shared_with(params, ms, e, EngineKind::default_kind())
+}
+
+/// [`modexp_many_shared`] on an explicit backend.
+pub fn modexp_many_shared_with(
+    params: &MontgomeryParams,
+    ms: &[Ubig],
+    e: &Ubig,
+    kind: EngineKind,
+) -> Vec<Ubig> {
     let shards: Vec<&[Ubig]> = ms.chunks(MAX_LANES).collect();
     shards
         .into_par_iter()
         .map(|sm| {
             let es = vec![e.clone(); sm.len()];
-            BatchModExp::new(pool::global().checkout(params)).modexp_batch_auto(sm, &es)
+            BatchModExp::new(pool::global().checkout_kind(params, kind)).modexp_batch_auto(sm, &es)
         })
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()

@@ -20,6 +20,12 @@
 //!    multiplications per simulated cycle in transposed (lane-sliced)
 //!    state, with [`expo_batch`] running Algorithm 3 over all lanes at
 //!    once and rayon sharding for wider workloads. See `DESIGN.md` §5.
+//! 6. **Radix-2⁶⁴ CIOS production backend** ([`cios`]) — the same
+//!    Algorithm-2 contract executed word-serially (~(l/64)² u64 MACs
+//!    per multiplication instead of ~l² bit-cell updates), selected by
+//!    default through the backend-dispatch layer ([`engine`]) with the
+//!    bit-sliced array retained as the fidelity oracle. See
+//!    `DESIGN.md` §7.
 //!
 //! [`montgomery`] holds the word-independent reference algorithms
 //! (Algorithm 1 with final subtraction and Algorithm 2 without), and
@@ -43,8 +49,10 @@
 pub mod array;
 pub mod batch;
 pub mod cells;
+pub mod cios;
 pub mod controller;
 pub mod cost;
+pub mod engine;
 pub mod expo;
 pub mod expo_batch;
 pub mod expo_window;
@@ -57,6 +65,8 @@ pub mod wave;
 pub mod wave_packed;
 
 pub use batch::BitSlicedBatch;
+pub use cios::{CiosBatch, CiosMont};
+pub use engine::{AnyBatchEngine, EngineKind};
 pub use expo::ModExp;
 pub use expo_batch::BatchModExp;
 pub use mmmc::Mmmc;

@@ -3,7 +3,71 @@
 //! together with the parameter bookkeeping around Walter's bound
 //! `4N < R = 2^{l+2}`.
 
+use mmm_bigint::limbs::LIMB_BITS;
 use mmm_bigint::Ubig;
+
+/// The word-level (radix-2⁶⁴) view of a modulus: everything a CIOS
+/// Montgomery scan needs, plus the constants that convert between the
+/// **bit domain** (`x̄_b = x·2^{l+2} mod N`, the paper's systolic-array
+/// representation) and the **word domain** (`x̄_w = x·2^{64·limbs} mod
+/// N`, the natural representation of a pure full-word CIOS pipeline).
+///
+/// The production [`crate::cios`] engines deliberately implement the
+/// *bit-domain* contract (full-word scans plus one partial-word
+/// reduction), so they are bit-identical drop-ins for the systolic
+/// engines and never need a conversion; this view exists for word-only
+/// experiments and for reasoning about the two radices side by side.
+/// It is computed on demand by
+/// [`MontgomeryParams::word_domain`] — the constants involve wide
+/// divisions (and a modular inverse at small widths), and the hot
+/// paths never read them, so parameter construction does not pay for
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordDomain {
+    /// Number of 64-bit limbs `s` sized to the datapath: `s =
+    /// ⌈(l+2)/64⌉`, so every Algorithm-2 operand and result (`< 2N <
+    /// 2^{l+1}`) fits.
+    limbs: usize,
+    /// `n0' = -N⁻¹ mod 2⁶⁴` — the per-word Montgomery quotient
+    /// constant (the radix-2⁶⁴ analogue of the paper's `N' = 1`).
+    n0_inv: u64,
+    /// `R_w mod N` with `R_w = 2^{64·limbs}` (the word-domain one).
+    r_mod_n: Ubig,
+    /// `R_w² mod N` — the word-domain entry constant.
+    r2_mod_n: Ubig,
+    /// `2^{2(l+2) − 64·limbs} mod N` — multiplying by this under the
+    /// bit-domain `Mont_b` maps a word-domain representative back to
+    /// the bit domain.
+    to_bit_factor: Ubig,
+}
+
+impl WordDomain {
+    /// Number of 64-bit limbs `s` (`R_w = 2^{64 s}`).
+    pub fn limbs(&self) -> usize {
+        self.limbs
+    }
+
+    /// `n0' = -N⁻¹ mod 2⁶⁴`.
+    pub fn n0_inv(&self) -> u64 {
+        self.n0_inv
+    }
+
+    /// The word-domain radix `R_w = 2^{64·limbs}`.
+    pub fn r(&self) -> Ubig {
+        Ubig::pow2(self.limbs * LIMB_BITS)
+    }
+
+    /// `R_w mod N` — the word-domain Montgomery one (and the factor
+    /// that maps bit-domain representatives into the word domain).
+    pub fn r_mod_n(&self) -> Ubig {
+        self.r_mod_n.clone()
+    }
+
+    /// `R_w² mod N` — the word-domain entry constant.
+    pub fn r2_mod_n(&self) -> Ubig {
+        self.r2_mod_n.clone()
+    }
+}
 
 /// Fixed parameters of a radix-2 Montgomery multiplication instance:
 /// the modulus `N` and the circuit width `l` (number of modulus bits
@@ -146,6 +210,80 @@ impl MontgomeryParams {
     /// Allocation-free — this runs per lane on the batch hot path.
     pub fn check_operand(&self, v: &Ubig) -> bool {
         *v < self.two_n
+    }
+
+    /// `n0' = -N⁻¹ mod 2⁶⁴` — the radix-2⁶⁴ CIOS quotient constant.
+    /// Cheap (a handful of wrapping u64 multiplies on the low limb);
+    /// this is the only word-level constant the production engines
+    /// read, so it has a dedicated accessor and
+    /// [`MontgomeryParams::word_domain`]'s divisions stay off the
+    /// engine-construction path.
+    pub fn word_n0_inv(&self) -> u64 {
+        self.n
+            .neg_inv_pow2(LIMB_BITS)
+            .to_u64()
+            .expect("-N^{-1} mod 2^64 fits one limb")
+    }
+
+    /// The radix-2⁶⁴ view of this modulus: CIOS constants (`limbs`,
+    /// `n0'`), the word-domain Montgomery constants (`R_w mod N`,
+    /// `R_w² mod N` with `R_w = 2^{64·limbs}`), and the
+    /// domain-conversion factor. Computed on demand — it costs wide
+    /// divisions (plus a modular inverse at small widths), and only
+    /// the word-domain experiment surface reads it.
+    pub fn word_domain(&self) -> WordDomain {
+        let n = &self.n;
+        let l = self.l;
+        let word_limbs = (l + 2).div_ceil(LIMB_BITS);
+        let rw_mod_n = Ubig::pow2(word_limbs * LIMB_BITS).rem(n);
+        let rw2_mod_n = (&rw_mod_n * &rw_mod_n).rem(n);
+        // 2^{2(l+2) − 64 s} mod N; the exponent goes negative only at
+        // small widths (64 s < 2(l+2) as soon as l ≥ 62), where the
+        // power-of-two inverse is cheap.
+        let to_bit_factor = if 2 * (l + 2) >= word_limbs * LIMB_BITS {
+            Ubig::pow2(2 * (l + 2) - word_limbs * LIMB_BITS).rem(n)
+        } else {
+            Ubig::pow2(word_limbs * LIMB_BITS - 2 * (l + 2))
+                .rem(n)
+                .modinv(n)
+                .expect("gcd(2^k, N) = 1 since N is odd")
+        };
+        WordDomain {
+            limbs: word_limbs,
+            n0_inv: self.word_n0_inv(),
+            r_mod_n: rw_mod_n,
+            r2_mod_n: rw2_mod_n,
+            to_bit_factor,
+        }
+    }
+
+    /// Maps a **bit-domain** Montgomery representative (`x̄_b = x·2^{l+2}
+    /// mod N`) to the canonical **word-domain** representative
+    /// (`x̄_w = x·2^{64·limbs} mod N`, fully reduced): one bit-domain
+    /// multiplication by `R_w mod N`, since
+    /// `Mont_b(x̄_b, R_w) = x·2^{l+2}·R_w·2^{−(l+2)} = x·R_w (mod N)`.
+    ///
+    /// An experiment-surface helper: it recomputes the word-domain
+    /// constants per call (pass a cached [`WordDomain`] through
+    /// [`WordDomain::r_mod_n`] + [`mont_mul_alg2`] to amortize).
+    ///
+    /// # Panics
+    /// Panics if `v ≥ 2N` (the Algorithm 2 operand bound).
+    pub fn bit_to_word_mont(&self, v: &Ubig) -> Ubig {
+        mont_mul_alg2(self, v, &self.word_domain().r_mod_n).rem(&self.n)
+    }
+
+    /// Inverse of [`MontgomeryParams::bit_to_word_mont`]: maps a
+    /// **word-domain** representative to the canonical **bit-domain**
+    /// one via one bit-domain multiplication by
+    /// `2^{2(l+2) − 64·limbs} mod N`
+    /// (`Mont_b(x̄_w, 2^{2(l+2)−64s}) = x·2^{64s}·2^{2(l+2)−64s}·2^{−(l+2)}
+    /// = x·2^{l+2} (mod N)`).
+    ///
+    /// # Panics
+    /// Panics if `v ≥ 2N`.
+    pub fn word_to_bit_mont(&self, v: &Ubig) -> Ubig {
+        mont_mul_alg2(self, v, &self.word_domain().to_bit_factor).rem(&self.n)
     }
 }
 
@@ -341,5 +479,50 @@ mod tests {
     fn tight_width_is_bitlen() {
         let p = MontgomeryParams::tight(&Ubig::from(1000003u64));
         assert_eq!(p.l(), 20);
+    }
+
+    #[test]
+    fn word_domain_constants_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for l in [3usize, 30, 62, 63, 64, 100, 130] {
+            let mut n = Ubig::random_exact_bits(&mut rng, l);
+            n.set_bit(0, true);
+            if n < Ubig::from(3u64) {
+                n = Ubig::from(5u64);
+            }
+            let p = MontgomeryParams::new(&n, l);
+            let w = p.word_domain();
+            assert_eq!(w.limbs(), (l + 2).div_ceil(64), "l={l}");
+            // N · n0' ≡ -1 (mod 2^64).
+            let prod = (&n * &Ubig::from(w.n0_inv())).low_bits(64);
+            assert_eq!(prod, Ubig::pow2(64) - Ubig::one(), "l={l}");
+            assert_eq!(w.r_mod_n(), w.r().rem(&n), "l={l}");
+            assert_eq!(w.r2_mod_n(), (&w.r() * &w.r()).rem(&n), "l={l}");
+        }
+    }
+
+    #[test]
+    fn domain_conversions_roundtrip_and_match_definition() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for l in [5usize, 62, 63, 64, 65, 100] {
+            let mut n = Ubig::random_exact_bits(&mut rng, l);
+            n.set_bit(0, true);
+            if n < Ubig::from(3u64) {
+                n = Ubig::from(5u64);
+            }
+            let p = MontgomeryParams::new(&n, l);
+            let w = p.word_domain();
+            for _ in 0..5 {
+                let x = Ubig::random_below(&mut rng, &n);
+                // Canonical representatives in both domains, by definition.
+                let xb = x.modmul(&p.r_mod_n(), &n);
+                let xw = x.modmul(&w.r_mod_n(), &n);
+                assert_eq!(p.bit_to_word_mont(&xb), xw, "bit→word l={l}");
+                assert_eq!(p.word_to_bit_mont(&xw), xb, "word→bit l={l}");
+                // Round trips from either side.
+                assert_eq!(p.word_to_bit_mont(&p.bit_to_word_mont(&xb)), xb);
+                assert_eq!(p.bit_to_word_mont(&p.word_to_bit_mont(&xw)), xw);
+            }
+        }
     }
 }

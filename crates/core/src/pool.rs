@@ -1,47 +1,63 @@
-//! Per-key engine pool: cached [`MontgomeryParams`] and warm
-//! [`BitSlicedBatch`] engines, keyed by `(modulus, width)`.
+//! Per-key engine pool: cached [`MontgomeryParams`] and warm batch
+//! engines of **either backend**, keyed by `(modulus, width)`, with
+//! bounded LRU eviction.
 //!
 //! The serving shape this workspace targets is *one key, many
 //! requests*: every batch entry point (`mont_mul_many`,
 //! `modexp_many`, the `mmm-rsa` batched sign/verify/decrypt paths)
-//! used to rebuild `MontgomeryParams` — two wide divisions for
-//! `R mod N` and `R² mod N` — and allocate a fresh engine (seven
-//! `l + 2`-word state vectors plus transpose scratch) on **every
-//! call**. Under sustained traffic that is pure overhead: the modulus
-//! set is small (one per RSA key, two per CRT key) and engine state is
-//! perfectly reusable.
+//! used to rebuild `MontgomeryParams` — several wide divisions — and
+//! allocate a fresh engine on **every call**. Under sustained traffic
+//! that is pure overhead: the modulus set is small (one per RSA key,
+//! two per CRT key) and engine state is perfectly reusable.
 //!
 //! [`EnginePool`] fixes both:
 //!
 //! * [`EnginePool::params_for`] caches hardware-safe parameters per
-//!   modulus (constants included, since `MontgomeryParams` now
+//!   modulus (constants included, since `MontgomeryParams`
 //!   precomputes them at construction);
-//! * [`EnginePool::checkout`] hands out a warm engine for the
-//!   parameters, building one only when every pooled engine for that
-//!   key is already on loan. The returned [`PooledEngine`] implements
-//!   [`BatchMontMul`] and parks its engine back in the pool on drop,
-//!   so rayon workers naturally recycle engines across shards and
-//!   calls.
+//! * [`EnginePool::checkout`] hands out a warm engine of the
+//!   process-default backend ([`EngineKind::default_kind`], CIOS) for
+//!   the parameters — [`EnginePool::checkout_kind`] selects a backend
+//!   explicitly — building one only when every pooled engine of that
+//!   kind for that key is already on loan. The returned
+//!   [`PooledEngine`] implements [`BatchMontMul`] and parks its engine
+//!   back in the pool on drop, so rayon workers naturally recycle
+//!   engines across shards and calls.
 //!
-//! The process-wide instance is [`global`]. Pools grow with the key
-//! set (entries are never evicted — a serving process has a bounded,
-//! small key population); [`EnginePool::clear`] exists for tests and
-//! key-rotation housekeeping. Two retention consequences to be aware
-//! of: a process feeding *ephemeral* moduli through the pooled entry
-//! points grows the pool monotonically until `clear()`, and an entry
-//! keyed by a secret modulus (the CRT primes behind
-//! `mmm-rsa::decrypt_crt_batch`) keeps that secret in memory after
-//! the key itself is dropped — call `clear()` on rotation if that
-//! matters (this workspace is a throughput simulator, not a hardened
-//! key store; nothing here is zeroized).
+//! ## Bounded LRU eviction
+//!
+//! The pool caps its key population (default
+//! [`DEFAULT_MAX_KEYS`]; [`EnginePool::with_capacity`] tunes it): when
+//! a fresh `(modulus, width)` would exceed the cap, the
+//! least-recently-used key entry — its parameters *and* its idle
+//! engines — is dropped. A process feeding ephemeral or rotating
+//! moduli through the pooled entry points therefore holds at most
+//! `capacity` sets of parameters instead of growing monotonically;
+//! evicted keys simply rebuild on next use (observable as a fresh
+//! `key_misses` increment). Engines on loan keep an `Arc` to their
+//! (now orphaned) entry and are dropped with it when returned.
+//!
+//! One retention caveat remains: an entry keyed by a secret modulus
+//! (the CRT primes behind `mmm-rsa::decrypt_crt_batch`) keeps that
+//! secret in memory until evicted or [`EnginePool::clear`]ed — this
+//! workspace is a throughput simulator, not a hardened key store;
+//! nothing here is zeroized.
+//!
+//! The process-wide instance is [`global`].
 
-use crate::batch::BitSlicedBatch;
+use crate::engine::{AnyBatchEngine, EngineKind};
 use crate::montgomery::MontgomeryParams;
 use crate::traits::BatchMontMul;
 use mmm_bigint::Ubig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default cap on distinct `(modulus, width)` entries a pool retains:
+/// generous for real key populations (an RSA key costs two entries on
+/// the CRT path, plus one for the public modulus), small enough that
+/// rotating-key workloads stay bounded.
+pub const DEFAULT_MAX_KEYS: usize = 64;
 
 /// Counters describing how well the pool is amortizing setup work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,41 +70,95 @@ pub struct PoolStats {
     pub engine_reuses: u64,
     /// Checkouts that had to construct a fresh engine.
     pub engine_builds: u64,
+    /// Key entries dropped by the LRU policy to stay under capacity.
+    pub evictions: u64,
 }
 
-/// One pooled key: its parameters and the idle engines built for it.
+/// Number of backends the pool keeps idle lists for (one per
+/// [`EngineKind`]; sized from `ALL` so a new variant grows the array
+/// at compile time instead of panicking on first checkout).
+const BACKENDS: usize = EngineKind::ALL.len();
+
+/// One pooled key: its parameters, idle engines per backend, and the
+/// LRU stamp of its last use.
 #[derive(Debug)]
 struct KeyEntry {
     params: MontgomeryParams,
-    idle: Mutex<Vec<BitSlicedBatch>>,
+    /// Idle engines, one list per [`EngineKind`] (indexable because
+    /// `EngineKind::ALL` is dense).
+    idle: [Mutex<Vec<AnyBatchEngine>>; BACKENDS],
+    /// Logical clock value of the most recent lookup of this key.
+    last_used: AtomicU64,
 }
 
-/// A pool of per-key parameters and warm batch engines.
-#[derive(Debug, Default)]
+impl KeyEntry {
+    fn idle_of(&self, kind: EngineKind) -> &Mutex<Vec<AnyBatchEngine>> {
+        &self.idle[kind as usize]
+    }
+}
+
+/// A pool of per-key parameters and warm batch engines with a bounded
+/// LRU key population.
+#[derive(Debug)]
 pub struct EnginePool {
     /// Width → (modulus → entry). The two-level shape lets the hit
     /// path probe with the caller's `&Ubig` — no modulus clone, no
     /// allocation — and keeps the map lock free of any wide
     /// arithmetic (entries are built outside it).
     keys: Mutex<HashMap<usize, HashMap<Ubig, Arc<KeyEntry>>>>,
+    /// Maximum number of key entries retained (≥ 1).
+    capacity: usize,
+    /// Monotonic logical clock stamping entry uses for LRU order.
+    clock: AtomicU64,
     key_hits: AtomicU64,
     key_misses: AtomicU64,
     engine_reuses: AtomicU64,
     engine_builds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for EnginePool {
+    fn default() -> Self {
+        EnginePool::new()
+    }
 }
 
 impl EnginePool {
-    /// Creates an empty pool.
+    /// Creates an empty pool retaining up to [`DEFAULT_MAX_KEYS`] keys.
     pub fn new() -> Self {
-        EnginePool::default()
+        EnginePool::with_capacity(DEFAULT_MAX_KEYS)
+    }
+
+    /// Creates an empty pool retaining up to `capacity` key entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "pool capacity must be at least 1");
+        EnginePool {
+            keys: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            key_hits: AtomicU64::new(0),
+            key_misses: AtomicU64::new(0),
+            engine_reuses: AtomicU64::new(0),
+            engine_builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The key-entry cap this pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks up (or creates) the entry for modulus `n` at width `l`,
     /// building parameters with `make` **outside** the map lock on a
-    /// miss (the `R mod N` / `R² mod N` divisions must not stall
-    /// other keys' checkouts). Two threads racing on the same fresh
-    /// key may both build; the first insert wins and the loser's
-    /// build is discarded — `key_misses` counts build attempts.
+    /// miss (the constant divisions must not stall other keys'
+    /// checkouts). Two threads racing on the same fresh key may both
+    /// build; the first insert wins and the loser's build is discarded
+    /// — `key_misses` counts build attempts. Inserting past capacity
+    /// evicts the least-recently-used entry.
     fn entry_with(
         &self,
         n: &Ubig,
@@ -99,23 +169,64 @@ impl EnginePool {
             let keys = self.keys.lock().expect("pool key map poisoned");
             if let Some(entry) = keys.get(&l).and_then(|per_n| per_n.get(n)) {
                 self.key_hits.fetch_add(1, Ordering::Relaxed);
+                let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                entry.last_used.store(stamp, Ordering::Relaxed);
                 return Arc::clone(entry);
             }
         }
         self.key_misses.fetch_add(1, Ordering::Relaxed);
         let params = make();
         debug_assert!(params.n() == n && params.l() == l, "make() key mismatch");
+        // Stamp *after* the (slow) build, just before insert: a stamp
+        // taken up front could already be the globally oldest by the
+        // time the build finishes, making the fresh entry the first
+        // eviction victim under contention.
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(KeyEntry {
             params,
-            idle: Mutex::new(Vec::new()),
+            idle: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            last_used: AtomicU64::new(stamp),
         });
         let mut keys = self.keys.lock().expect("pool key map poisoned");
-        Arc::clone(keys.entry(l).or_default().entry(n.clone()).or_insert(entry))
+        let entry = Arc::clone(keys.entry(l).or_default().entry(n.clone()).or_insert(entry));
+        self.evict_lru_locked(&mut keys);
+        entry
+    }
+
+    /// Drops least-recently-used entries until the population fits the
+    /// cap. Called with the map lock held, right after an insert.
+    fn evict_lru_locked(&self, keys: &mut HashMap<usize, HashMap<Ubig, Arc<KeyEntry>>>) {
+        loop {
+            let population: usize = keys.values().map(HashMap::len).sum();
+            if population <= self.capacity {
+                return;
+            }
+            // O(population) scan — the cap is small by design. Only
+            // the single victim's modulus is cloned (the scan runs
+            // under the map lock; per-entry clones would stall
+            // concurrent checkouts for nothing).
+            let victim = keys
+                .iter()
+                .flat_map(|(&l, per_n)| {
+                    per_n
+                        .iter()
+                        .map(move |(n, e)| (e.last_used.load(Ordering::Relaxed), l, n))
+                })
+                .min_by_key(|(stamp, _, _)| *stamp)
+                .map(|(_, l, n)| (l, n.clone()));
+            let Some((l, n)) = victim else { return };
+            if let Some(per_n) = keys.get_mut(&l) {
+                per_n.remove(&n);
+                if per_n.is_empty() {
+                    keys.remove(&l);
+                }
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Cached hardware-safe parameters for modulus `n` (the expensive
-    /// `R mod N` / `R² mod N` divisions run once per key, not once per
-    /// call).
+    /// constant divisions run once per key, not once per call).
     pub fn params_for(&self, n: &Ubig) -> MontgomeryParams {
         let l = MontgomeryParams::min_hardware_width(n);
         self.entry_with(n, l, || MontgomeryParams::new(n, l))
@@ -123,25 +234,37 @@ impl EnginePool {
             .clone()
     }
 
-    /// Checks out a warm engine for `params`, building one only if no
-    /// idle engine is pooled for this key. The engine returns to the
-    /// pool when the guard drops.
+    /// Checks out a warm engine of the **process-default backend**
+    /// ([`EngineKind::default_kind`], CIOS unless `MMM_ENGINE`
+    /// overrides) for `params`. The engine returns to the pool when
+    /// the guard drops.
     pub fn checkout(&self, params: &MontgomeryParams) -> PooledEngine {
+        self.checkout_kind(params, EngineKind::default_kind())
+    }
+
+    /// Checks out a warm engine of an explicit backend for `params`,
+    /// building one only if no idle engine of that kind is pooled for
+    /// this key.
+    pub fn checkout_kind(&self, params: &MontgomeryParams, kind: EngineKind) -> PooledEngine {
         // The caller already computed the params, so a miss here costs
         // one clone, never a division.
         let entry = self.entry_with(params.n(), params.l(), || params.clone());
-        let idle = entry.idle.lock().expect("pool idle list poisoned").pop();
+        let idle = entry
+            .idle_of(kind)
+            .lock()
+            .expect("pool idle list poisoned")
+            .pop();
         let engine = match idle {
             Some(mut engine) => {
                 self.engine_reuses.fetch_add(1, Ordering::Relaxed);
                 // A recycled engine must look fresh to its borrower:
                 // cycle counts are a per-loan observable.
-                engine.reset_cycle_counter();
+                engine.reset_loan_state();
                 engine
             }
             None => {
                 self.engine_builds.fetch_add(1, Ordering::Relaxed);
-                BitSlicedBatch::new(entry.params.clone())
+                kind.build(entry.params.clone())
             }
         };
         PooledEngine {
@@ -157,6 +280,7 @@ impl EnginePool {
             key_misses: self.key_misses.load(Ordering::Relaxed),
             engine_reuses: self.engine_reuses.load(Ordering::Relaxed),
             engine_builds: self.engine_builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -167,21 +291,27 @@ impl EnginePool {
     }
 }
 
-/// RAII guard over a checked-out [`BitSlicedBatch`]: usable wherever a
-/// [`BatchMontMul`] is expected, parked back into its pool on drop.
+/// RAII guard over a checked-out batch engine: usable wherever a
+/// [`BatchMontMul`] is expected, parked back into its pool (under its
+/// backend's idle list) on drop.
 #[derive(Debug)]
 pub struct PooledEngine {
-    engine: Option<BitSlicedBatch>,
+    engine: Option<AnyBatchEngine>,
     home: Arc<KeyEntry>,
 }
 
 impl PooledEngine {
-    fn engine_mut(&mut self) -> &mut BitSlicedBatch {
+    fn engine_mut(&mut self) -> &mut AnyBatchEngine {
         self.engine.as_mut().expect("engine present until drop")
     }
 
-    fn engine_ref(&self) -> &BitSlicedBatch {
+    fn engine_ref(&self) -> &AnyBatchEngine {
         self.engine.as_ref().expect("engine present until drop")
+    }
+
+    /// Which backend this loan carries.
+    pub fn kind(&self) -> EngineKind {
+        self.engine_ref().kind()
     }
 }
 
@@ -189,7 +319,7 @@ impl Drop for PooledEngine {
     fn drop(&mut self) {
         if let Some(engine) = self.engine.take() {
             self.home
-                .idle
+                .idle_of(engine.kind())
                 .lock()
                 .expect("pool idle list poisoned")
                 .push(engine);
@@ -207,7 +337,7 @@ impl BatchMontMul for PooledEngine {
     }
 
     fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
-        self.engine_mut().mont_mul_batch_counted(xs, ys).0
+        self.engine_mut().mont_mul_batch(xs, ys)
     }
 
     fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
@@ -219,15 +349,35 @@ impl BatchMontMul for PooledEngine {
     }
 
     fn name(&self) -> &'static str {
-        "pooled bit-sliced batch"
+        self.engine_ref().name()
     }
 }
 
 /// The process-wide pool used by the sharded `*_many` entry points and
-/// the `mmm-rsa` batch API.
+/// the `mmm-rsa` batch API. Its key cap is [`DEFAULT_MAX_KEYS`],
+/// overridable once per process with the `MMM_POOL_KEYS` environment
+/// variable (a positive integer) — the escape hatch for serving
+/// processes whose live key population exceeds the default (each CRT
+/// RSA key costs three entries: `N`, `p`, `q`), where LRU thrash
+/// would otherwise degrade checkouts to rebuild-per-call.
+///
+/// # Panics
+/// First use panics on an unparseable or zero `MMM_POOL_KEYS` value —
+/// a typo must not silently fall back to the default cap.
 pub fn global() -> &'static EnginePool {
     static POOL: OnceLock<EnginePool> = OnceLock::new();
-    POOL.get_or_init(EnginePool::new)
+    POOL.get_or_init(|| {
+        let capacity = match std::env::var("MMM_POOL_KEYS") {
+            Ok(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&c| c >= 1)
+                .unwrap_or_else(|| panic!("MMM_POOL_KEYS must be a positive integer, got {v:?}")),
+            Err(std::env::VarError::NotPresent) => DEFAULT_MAX_KEYS,
+            Err(e) => panic!("unreadable MMM_POOL_KEYS value: {e}"),
+        };
+        EnginePool::with_capacity(capacity)
+    })
 }
 
 #[cfg(test)]
@@ -260,6 +410,38 @@ mod tests {
     }
 
     #[test]
+    fn default_checkout_follows_process_default_and_kinds_pool_separately() {
+        let mut rng = StdRng::seed_from_u64(405);
+        let pool = EnginePool::new();
+        let p = random_safe_params(&mut rng, 20);
+        {
+            // The plain checkout must honor the process default — CIOS
+            // unless the developer is running the documented
+            // `MMM_ENGINE=bitsliced` A/B workflow.
+            let a = pool.checkout(&p);
+            assert_eq!(a.kind(), EngineKind::default_kind());
+        }
+        {
+            let c = pool.checkout_kind(&p, EngineKind::Cios);
+            assert_eq!(c.kind(), EngineKind::Cios);
+            assert_eq!(c.name(), "radix-2^64 CIOS batch (64 lanes)");
+        }
+        // A bit-sliced request must not steal a parked CIOS engine.
+        {
+            let b = pool.checkout_kind(&p, EngineKind::BitSliced);
+            assert_eq!(b.kind(), EngineKind::BitSliced);
+        }
+        // One build per backend (the default checkout parked an engine
+        // of one of the two kinds, which the matching explicit
+        // checkout above then reused).
+        assert_eq!(pool.stats().engine_builds, 2, "one build per backend");
+        // Now both kinds are warm.
+        let _c = pool.checkout_kind(&p, EngineKind::Cios);
+        let _d = pool.checkout_kind(&p, EngineKind::BitSliced);
+        assert_eq!(pool.stats().engine_reuses, 3);
+    }
+
+    #[test]
     fn pooled_engine_computes_correctly_across_generations() {
         let mut rng = StdRng::seed_from_u64(402);
         let pool = EnginePool::new();
@@ -288,13 +470,13 @@ mod tests {
         let xs: Vec<Ubig> = (0..3).map(|_| random_operand(&mut rng, &p)).collect();
         let per_batch = (3 * 16 + 4) as u64;
         {
-            let mut first = pool.checkout(&p);
+            let mut first = pool.checkout_kind(&p, EngineKind::BitSliced);
             let _ = first.mont_mul_batch(&xs, &xs);
             let _ = first.mont_mul_batch(&xs, &xs);
             assert_eq!(first.consumed_cycles(), Some(2 * per_batch));
         }
         // Same engine, next loan: the counter starts from zero again.
-        let mut second = pool.checkout(&p);
+        let mut second = pool.checkout_kind(&p, EngineKind::BitSliced);
         assert_eq!(pool.stats().engine_reuses, 1, "warm engine recycled");
         assert_eq!(second.consumed_cycles(), Some(0));
         let _ = second.mont_mul_batch(&xs, &xs);
@@ -334,6 +516,85 @@ mod tests {
         pool.clear();
         drop(pool.checkout(&p));
         assert_eq!(pool.stats().engine_builds, 2, "cleared pool rebuilds");
+    }
+
+    #[test]
+    fn warm_reuse_still_hits_under_the_cap() {
+        // Three keys cycling through a capacity-4 pool: every key
+        // keeps its entry and its warm engine — zero evictions.
+        let mut rng = StdRng::seed_from_u64(406);
+        let pool = EnginePool::with_capacity(4);
+        let ps: Vec<MontgomeryParams> = (0..3).map(|_| random_safe_params(&mut rng, 18)).collect();
+        for round in 0..5 {
+            for p in &ps {
+                let xs: Vec<Ubig> = (0..3).map(|_| random_operand(&mut rng, p)).collect();
+                let mut e = pool.checkout(p);
+                let got = e.mont_mul_batch(&xs, &xs);
+                for k in 0..3 {
+                    assert_eq!(got[k], mont_mul_alg2(p, &xs[k], &xs[k]), "round {round}");
+                }
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.evictions, 0, "population fits the cap");
+        assert_eq!(s.engine_builds, 3, "one engine per key, then warm");
+        assert_eq!(s.engine_reuses, 12);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_key_and_evicted_keys_rebuild() {
+        let mut rng = StdRng::seed_from_u64(407);
+        let pool = EnginePool::with_capacity(2);
+        let a = random_safe_params(&mut rng, 16);
+        let b = random_safe_params(&mut rng, 17);
+        let c = random_safe_params(&mut rng, 18);
+        drop(pool.checkout(&a));
+        drop(pool.checkout(&b));
+        // Touch `a` so `b` is the LRU entry when `c` arrives.
+        drop(pool.checkout(&a));
+        drop(pool.checkout(&c));
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1, "b evicted to admit c");
+        // a and c are still warm…
+        drop(pool.checkout(&a));
+        drop(pool.checkout(&c));
+        let s2 = pool.stats();
+        assert_eq!(s2.engine_reuses, 3, "a twice, c once");
+        assert_eq!(s2.key_misses, 3, "no rebuild for retained keys");
+        // …and the evicted key rebuilds from scratch, correctly.
+        let xs: Vec<Ubig> = (0..2).map(|_| random_operand(&mut rng, &b)).collect();
+        let mut e = pool.checkout(&b);
+        let got = e.mont_mul_batch(&xs, &xs);
+        assert_eq!(got[0], mont_mul_alg2(&b, &xs[0], &xs[0]));
+        let s3 = pool.stats();
+        assert_eq!(s3.key_misses, 4, "evicted key is a fresh miss");
+        assert_eq!(s3.evictions, 2, "admitting b evicts the next LRU");
+    }
+
+    #[test]
+    fn rotating_keys_never_exceed_capacity() {
+        // The ephemeral-modulus workload the ROADMAP called out: many
+        // one-shot keys must not grow the pool monotonically.
+        let mut rng = StdRng::seed_from_u64(408);
+        let pool = EnginePool::with_capacity(4);
+        for i in 0..20 {
+            let p = random_safe_params(&mut rng, 16 + (i % 7));
+            let xs = vec![random_operand(&mut rng, &p)];
+            let mut e = pool.checkout(&p);
+            let got = e.mont_mul_batch(&xs, &xs);
+            assert_eq!(got[0], mont_mul_alg2(&p, &xs[0], &xs[0]), "key {i}");
+        }
+        let s = pool.stats();
+        assert!(s.evictions >= 16, "population stayed bounded: {s:?}");
+        let keys = pool.keys.lock().unwrap();
+        let population: usize = keys.values().map(HashMap::len).sum();
+        assert!(population <= 4, "population {population} exceeds cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn rejects_zero_capacity() {
+        let _ = EnginePool::with_capacity(0);
     }
 
     #[test]

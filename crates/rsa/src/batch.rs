@@ -1,12 +1,16 @@
-//! Batched RSA signing, verification and decryption over the
-//! bit-sliced batch engine — the many-client serving path.
+//! Batched RSA signing, verification and decryption over the batch
+//! Montgomery engines — the many-client serving path.
 //!
 //! One RSA key serves many requests: all lanes share the modulus `N`,
-//! which is exactly the shape `mmm-core::batch` accelerates (64
-//! signatures advance per simulated cycle; workloads wider than 64
-//! lanes shard across cores via
-//! [`mmm_core::expo_batch::modexp_many_shared`]). Parameters and
-//! engines come from the process-wide per-key pool
+//! which is exactly the shape the batch engines accelerate (64
+//! requests advance in lockstep; workloads wider than 64 lanes shard
+//! across cores via
+//! [`mmm_core::expo_batch::modexp_many_shared`]). Every entry point
+//! dispatches through [`mmm_core::engine`]: the radix-2⁶⁴ CIOS scan
+//! by default, the bit-sliced systolic simulation behind the same
+//! trait via the `*_with` variants (both backends are bit-identical,
+//! so swapping is purely a performance/fidelity choice). Parameters
+//! and engines come from the process-wide per-key pool
 //! ([`mmm_core::pool`]), so repeated calls against the same key pay
 //! for no setup. Like the scalar [`crate::signing`] API this is
 //! textbook RSA — no hash or padding; the exercise is the
@@ -23,10 +27,10 @@
 use crate::keys::RsaKeyPair;
 use mmm_bigint::Ubig;
 use mmm_core::batch::MAX_LANES;
-use mmm_core::expo_batch::modexp_many_shared;
+use mmm_core::expo_batch::modexp_many_shared_with;
 use mmm_core::montgomery::MontgomeryParams;
 use mmm_core::pool;
-use mmm_core::BatchModExp;
+use mmm_core::{BatchModExp, EngineKind};
 use rayon::prelude::*;
 
 /// Pooled hardware-safe parameters for a key's modulus.
@@ -35,12 +39,20 @@ fn params_for(key: &RsaKeyPair) -> MontgomeryParams {
 }
 
 /// Signs every message (reduced residues): `s_k = m_k ^ D mod N`.
-/// Accepts any number of messages; lanes beyond 64 shard across cores.
+/// Accepts any number of messages; lanes beyond 64 shard across
+/// cores, each on a warm engine of the process-default backend
+/// ([`EngineKind::default_kind`], the radix-2⁶⁴ CIOS scan).
 ///
 /// # Panics
 /// Panics if any message is `≥ N`.
 pub fn sign_batch(key: &RsaKeyPair, ms: &[Ubig]) -> Vec<Ubig> {
-    modexp_many_shared(&params_for(key), ms, &key.d)
+    sign_batch_with(key, ms, EngineKind::default_kind())
+}
+
+/// [`sign_batch`] on an explicit multiplier backend (bit-identical
+/// across backends — the cross-checking entry point).
+pub fn sign_batch_with(key: &RsaKeyPair, ms: &[Ubig], kind: EngineKind) -> Vec<Ubig> {
+    modexp_many_shared_with(&params_for(key), ms, &key.d, kind)
 }
 
 /// Verifies every signature: `s_k ^ E mod N == m_k`.
@@ -49,8 +61,18 @@ pub fn sign_batch(key: &RsaKeyPair, ms: &[Ubig]) -> Vec<Ubig> {
 /// Panics if `ms` and `sigs` differ in length or any signature is
 /// `≥ N`.
 pub fn verify_batch(key: &RsaKeyPair, ms: &[Ubig], sigs: &[Ubig]) -> Vec<bool> {
+    verify_batch_with(key, ms, sigs, EngineKind::default_kind())
+}
+
+/// [`verify_batch`] on an explicit multiplier backend.
+pub fn verify_batch_with(
+    key: &RsaKeyPair,
+    ms: &[Ubig],
+    sigs: &[Ubig],
+    kind: EngineKind,
+) -> Vec<bool> {
     assert_eq!(ms.len(), sigs.len(), "message/signature count mismatch");
-    let recovered = modexp_many_shared(&params_for(key), sigs, &key.e);
+    let recovered = modexp_many_shared_with(&params_for(key), sigs, &key.e, kind);
     recovered.iter().zip(ms).map(|(r, m)| r == m).collect()
 }
 
@@ -77,6 +99,11 @@ pub fn decrypt_batch(key: &RsaKeyPair, cs: &[Ubig]) -> Vec<Ubig> {
 /// # Panics
 /// Panics if any ciphertext is `≥ N`.
 pub fn decrypt_crt_batch(key: &RsaKeyPair, cs: &[Ubig]) -> Vec<Ubig> {
+    decrypt_crt_batch_with(key, cs, EngineKind::default_kind())
+}
+
+/// [`decrypt_crt_batch`] on an explicit multiplier backend.
+pub fn decrypt_crt_batch_with(key: &RsaKeyPair, cs: &[Ubig], kind: EngineKind) -> Vec<Ubig> {
     let pool = pool::global();
     let pparams = pool.params_for(&key.p);
     let qparams = pool.params_for(&key.q);
@@ -96,7 +123,7 @@ pub fn decrypt_crt_batch(key: &RsaKeyPair, cs: &[Ubig]) -> Vec<Ubig> {
         .map(|(shard, params, d)| {
             let residues: Vec<Ubig> = shard.iter().map(|c| c.rem(params.n())).collect();
             let ds = vec![d.clone(); shard.len()];
-            BatchModExp::new(pool.checkout(params)).modexp_batch_auto(&residues, &ds)
+            BatchModExp::new(pool.checkout_kind(params, kind)).modexp_batch_auto(&residues, &ds)
         })
         .collect();
     halves
@@ -213,6 +240,33 @@ mod tests {
     fn crt_batch_rejects_unreduced_ciphertext() {
         let kp = keypair(32, 82);
         let _ = decrypt_crt_batch(&kp, std::slice::from_ref(&kp.n));
+    }
+
+    #[test]
+    fn every_backend_agrees_on_all_batch_entry_points() {
+        let kp = keypair(48, 83);
+        let mut rng = StdRng::seed_from_u64(84);
+        let ms: Vec<Ubig> = (0..7)
+            .map(|_| Ubig::random_below(&mut rng, &kp.n))
+            .collect();
+        let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&kp.e, &kp.n)).collect();
+        let sigs = sign_batch(&kp, &ms);
+        for kind in EngineKind::ALL {
+            assert_eq!(sign_batch_with(&kp, &ms, kind), sigs, "{}", kind.name());
+            assert!(
+                verify_batch_with(&kp, &ms, &sigs, kind)
+                    .into_iter()
+                    .all(|ok| ok),
+                "{}",
+                kind.name()
+            );
+            assert_eq!(
+                decrypt_crt_batch_with(&kp, &cs, kind),
+                ms,
+                "{}",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -16,9 +16,13 @@ pub mod cipher;
 pub mod keys;
 pub mod signing;
 
-pub use batch::{decrypt_batch, decrypt_crt_batch, sign_batch, verify_batch};
+pub use batch::{
+    decrypt_batch, decrypt_crt_batch, decrypt_crt_batch_with, sign_batch, sign_batch_with,
+    verify_batch, verify_batch_with,
+};
 pub use cipher::{decrypt, decrypt_crt, encrypt};
 pub use keys::RsaKeyPair;
 pub use signing::{decrypt_blinded, sign, verify};
 
 pub use mmm_core::traits::{BatchMontMul, MontMul};
+pub use mmm_core::EngineKind;

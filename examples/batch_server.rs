@@ -1,6 +1,8 @@
-//! A many-client exponentiation queue on the bit-sliced batch engine.
+//! A many-client exponentiation queue on the batch engines (the
+//! radix-2⁶⁴ CIOS production backend by default; set
+//! `MMM_ENGINE=bitsliced` to rerun on the systolic simulation).
 //!
-//! Simulates the serving shape the batch engine exists for: one RSA
+//! Simulates the serving shape the batch engines exist for: one RSA
 //! key, a queue of clients each wanting a signature (a full modular
 //! exponentiation), drained 64 lanes at a time with shards fanned out
 //! across cores. Run with:

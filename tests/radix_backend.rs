@@ -1,0 +1,211 @@
+//! Cross-engine property tests for the radix-2⁶⁴ CIOS backend and the
+//! backend-dispatch layer: CIOS ≡ bit-sliced ≡ `Ubig::modpow`, lane
+//! for lane and **bit for bit** (including the non-canonical `< 2N`
+//! Montgomery representatives), across word-boundary widths and
+//! partial batches; plus round-trip proptests for the word-domain
+//! `MontgomeryParams` view.
+
+use montgomery_systolic::bigint::Ubig;
+use montgomery_systolic::core::batch::{mont_mul_many_with, BitSlicedBatch};
+use montgomery_systolic::core::cios::{CiosBatch, CiosMont};
+use montgomery_systolic::core::expo_batch::{modexp_many_with, BatchModExp};
+use montgomery_systolic::core::modgen::{random_operand, random_safe_params};
+use montgomery_systolic::core::montgomery::MontgomeryParams;
+use montgomery_systolic::core::wave_packed::PackedMmmc;
+use montgomery_systolic::core::{BatchMontMul, EngineKind, MontMul};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cios_bit_identical_to_bit_sliced_per_lane(
+        l in 30usize..100,
+        seed in any::<u64>(),
+        lane_sel in 0usize..4
+    ) {
+        let lanes = [1usize, 3, 63, 64][lane_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &params)).collect();
+        let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &params)).collect();
+
+        let mut cios = CiosBatch::new(params.clone());
+        let mut bits = BitSlicedBatch::new(params.clone());
+        let got = cios.mont_mul_batch(&xs, &ys);
+        let want = bits.mont_mul_batch(&xs, &ys);
+        prop_assert_eq!(&got, &want, "batch CIOS vs bit-sliced at l={}", l);
+
+        // The scalar CIOS engine and the solo packed wave model agree
+        // with both, so all four engines share one contract.
+        let mut scalar = CiosMont::new(params.clone());
+        let mut solo = PackedMmmc::new(params.clone());
+        for k in 0..lanes {
+            prop_assert_eq!(&got[k], &scalar.mont_mul(&xs[k], &ys[k]), "scalar lane {}", k);
+            prop_assert_eq!(&got[k], &solo.mont_mul(&xs[k], &ys[k]), "packed lane {}", k);
+        }
+    }
+
+    #[test]
+    fn windowed_modexp_agrees_across_backends_and_oracle(
+        l in 30usize..100,
+        seed in any::<u64>(),
+        lane_sel in 0usize..4,
+        w in 1usize..=5
+    ) {
+        let lanes = [1usize, 3, 63, 64][lane_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let n = params.n().clone();
+        let ms: Vec<Ubig> = (0..lanes).map(|_| Ubig::random_below(&mut rng, &n)).collect();
+        // Per-lane exponents of wildly different lengths (including 0).
+        let es: Vec<Ubig> = (0..lanes)
+            .map(|k| Ubig::random_bits(&mut rng, (k * 17) % (l + 1)))
+            .collect();
+        let mut cios = BatchModExp::new(CiosBatch::new(params.clone()));
+        let got = cios.modexp_batch_windowed(&ms, &es, w);
+        let mut bits = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+        prop_assert_eq!(&got, &bits.modexp_batch_windowed(&ms, &es, w), "w={}", w);
+        for k in 0..lanes {
+            prop_assert_eq!(&got[k], &ms[k].modpow(&es[k], &n), "w={} lane {}", w, k);
+        }
+    }
+
+    #[test]
+    fn dispatch_entry_points_agree_across_kinds(
+        l in 10usize..40,
+        seed in any::<u64>(),
+        count in 1usize..130
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let xs: Vec<Ubig> = (0..count).map(|_| random_operand(&mut rng, &params)).collect();
+        let ys: Vec<Ubig> = (0..count).map(|_| random_operand(&mut rng, &params)).collect();
+        prop_assert_eq!(
+            mont_mul_many_with(&params, &xs, &ys, EngineKind::Cios),
+            mont_mul_many_with(&params, &xs, &ys, EngineKind::BitSliced)
+        );
+        let ms: Vec<Ubig> = (0..count)
+            .map(|_| Ubig::random_below(&mut rng, params.n()))
+            .collect();
+        let es: Vec<Ubig> = (0..count)
+            .map(|_| Ubig::random_bits(&mut rng, l))
+            .collect();
+        prop_assert_eq!(
+            modexp_many_with(&params, &ms, &es, EngineKind::Cios),
+            modexp_many_with(&params, &ms, &es, EngineKind::BitSliced)
+        );
+    }
+
+    #[test]
+    fn word_domain_conversions_roundtrip(
+        l in 5usize..130,
+        seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = random_safe_params(&mut rng, l);
+        let n = params.n().clone();
+        let w = params.word_domain();
+        let x = Ubig::random_below(&mut rng, &n);
+        // Canonical representatives in both domains, by definition.
+        let xb = x.modmul(&params.r_mod_n(), &n);
+        let xw = x.modmul(&w.r_mod_n(), &n);
+        // Conversions hit the definitional values…
+        prop_assert_eq!(&params.bit_to_word_mont(&xb), &xw, "bit→word at l={}", l);
+        prop_assert_eq!(&params.word_to_bit_mont(&xw), &xb, "word→bit at l={}", l);
+        // …and round-trip in both directions.
+        prop_assert_eq!(&params.word_to_bit_mont(&params.bit_to_word_mont(&xb)), &xb);
+        prop_assert_eq!(&params.bit_to_word_mont(&params.word_to_bit_mont(&xw)), &xw);
+        // Also from a non-canonical (< 2N) bit-domain representative:
+        // same residue class, same converted value.
+        let xb2 = &xb + &n;
+        if params.check_operand(&xb2) {
+            prop_assert_eq!(&params.bit_to_word_mont(&xb2), &xw, "non-canonical rep");
+        }
+    }
+}
+
+/// Deterministic regression at the exact widths the issue calls out:
+/// word-boundary widths (63/64/65) and the RSA serving sizes (256,
+/// 1024), every partial batch size, mont_mul bit-identity.
+#[test]
+fn cios_bit_identity_at_word_boundary_and_serving_widths() {
+    let mut rng = StdRng::seed_from_u64(0xC105);
+    for l in [63usize, 64, 65, 256, 1024] {
+        let params = random_safe_params(&mut rng, l);
+        let mut cios = CiosBatch::new(params.clone());
+        let mut bits = BitSlicedBatch::new(params.clone());
+        let mut scalar = CiosMont::new(params.clone());
+        for lanes in [1usize, 3, 63, 64] {
+            let xs: Vec<Ubig> = (0..lanes)
+                .map(|_| random_operand(&mut rng, &params))
+                .collect();
+            let ys: Vec<Ubig> = (0..lanes)
+                .map(|_| random_operand(&mut rng, &params))
+                .collect();
+            let got = cios.mont_mul_batch(&xs, &ys);
+            let want = bits.mont_mul_batch(&xs, &ys);
+            assert_eq!(got, want, "l={l} lanes={lanes}");
+            assert_eq!(
+                got[lanes - 1],
+                scalar.mont_mul(&xs[lanes - 1], &ys[lanes - 1]),
+                "l={l} lanes={lanes} scalar"
+            );
+        }
+    }
+}
+
+/// Deterministic regression: windowed batch exponentiation agrees
+/// across backends and with the big-integer oracle at word-boundary
+/// widths and at l = 256 (exponents kept short so the bit-sliced
+/// oracle stays fast in debug builds).
+#[test]
+fn windowed_modexp_cross_backend_word_boundary_widths() {
+    let mut rng = StdRng::seed_from_u64(0xC106);
+    for l in [63usize, 64, 65, 256] {
+        let params = random_safe_params(&mut rng, l);
+        let n = params.n().clone();
+        let ebits = l.min(72);
+        for lanes in [1usize, 64] {
+            let ms: Vec<Ubig> = (0..lanes)
+                .map(|_| Ubig::random_below(&mut rng, &n))
+                .collect();
+            let es: Vec<Ubig> = (0..lanes)
+                .map(|_| Ubig::random_bits(&mut rng, ebits))
+                .collect();
+            let mut cios = BatchModExp::new(CiosBatch::new(params.clone()));
+            let got = cios.modexp_batch_auto(&ms, &es);
+            let mut bits = BatchModExp::new(BitSlicedBatch::new(params.clone()));
+            assert_eq!(got, bits.modexp_batch_auto(&ms, &es), "l={l} lanes={lanes}");
+            for k in 0..lanes {
+                assert_eq!(got[k], ms[k].modpow(&es[k], &n), "l={l} lane {k}");
+            }
+        }
+    }
+}
+
+/// The CIOS backend has no hardware-safety constraint: at `tight`
+/// widths (where the systolic array would drop its leftmost carry)
+/// it must still match Algorithm 2 exactly.
+#[test]
+fn cios_handles_hardware_unsafe_tight_widths() {
+    use montgomery_systolic::core::montgomery::mont_mul_alg2;
+    let mut rng = StdRng::seed_from_u64(0xC107);
+    for bits in [64usize, 65, 128] {
+        // Force a modulus in the unsafe band N ≳ ⅔·2^l.
+        let mut n = Ubig::pow2(bits) - Ubig::one();
+        if n.is_even() {
+            n = n - Ubig::one();
+        }
+        let params = MontgomeryParams::tight(&n);
+        assert!(!params.is_hardware_safe(), "bits={bits}");
+        let mut batch = CiosBatch::new(params.clone());
+        let xs: Vec<Ubig> = (0..8).map(|_| random_operand(&mut rng, &params)).collect();
+        let got = batch.mont_mul_batch(&xs, &xs);
+        for k in 0..8 {
+            assert_eq!(got[k], mont_mul_alg2(&params, &xs[k], &xs[k]), "lane {k}");
+        }
+    }
+}
