@@ -48,7 +48,9 @@
 //! workloads wider than 64 lanes, [`mont_mul_many`] shards across
 //! engines with rayon.
 
+use crate::config::EngineConfig;
 use crate::engine::EngineKind;
+use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::MontgomeryParams;
 use crate::pool;
 use crate::traits::{BatchMontMul, MontMul};
@@ -83,13 +85,12 @@ pub struct BitSlicedBatch {
 
 impl BitSlicedBatch {
     /// Creates an engine for `params` (same hardware-safety contract
-    /// as the other array engines).
-    pub fn new(params: MontgomeryParams) -> Self {
-        assert!(
-            params.is_hardware_safe(),
-            "modulus is not hardware-safe at width l={}",
-            params.l()
-        );
+    /// as the other array engines), rejecting hardware-unsafe
+    /// parameters with [`MmmError::HardwareUnsafeWidth`].
+    pub fn try_new(params: MontgomeryParams) -> Result<Self, MmmError> {
+        if !params.is_hardware_safe() {
+            return Err(MmmError::HardwareUnsafeWidth { l: params.l() });
+        }
         let l = params.l();
         let w = l + 2;
         let mut n_pos = vec![0u64; w];
@@ -98,7 +99,7 @@ impl BitSlicedBatch {
                 *slot = u64::MAX;
             }
         }
-        BitSlicedBatch {
+        Ok(BitSlicedBatch {
             params,
             l,
             n_pos,
@@ -109,7 +110,16 @@ impl BitSlicedBatch {
             c1: vec![0; w],
             m_even: vec![0; w],
             total_cycles: 0,
-        }
+        })
+    }
+
+    /// Creates an engine for `params`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are not hardware-safe;
+    /// [`BitSlicedBatch::try_new`] is the fallible variant.
+    pub fn new(params: MontgomeryParams) -> Self {
+        Self::try_new(params).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The engine's parameters.
@@ -149,17 +159,24 @@ impl BitSlicedBatch {
     ///
     /// # Panics
     /// Panics on empty input, mismatched lengths, more than
-    /// [`MAX_LANES`] lanes, or any operand `≥ 2N`.
+    /// [`MAX_LANES`] lanes, or any operand `≥ 2N`;
+    /// [`BitSlicedBatch::try_mont_mul_batch_into`] is the fallible
+    /// variant.
     pub fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) -> u64 {
-        assert!(!xs.is_empty(), "empty batch");
-        assert_eq!(xs.len(), ys.len(), "operand count mismatch");
-        assert!(xs.len() <= MAX_LANES, "at most {MAX_LANES} lanes");
-        for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
-            assert!(
-                self.params.check_operand(x) && self.params.check_operand(y),
-                "lane {k}: operands must be < 2N"
-            );
-        }
+        self.try_mont_mul_batch_into(xs, ys, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::mont_mul_batch_into`] returning every input rejection
+    /// as a typed [`MmmError`] (with the offending lane index for
+    /// out-of-range operands) instead of panicking.
+    pub fn try_mont_mul_batch_into(
+        &mut self,
+        xs: &[Ubig],
+        ys: &[Ubig],
+        out: &mut Vec<Ubig>,
+    ) -> Result<u64, MmmError> {
+        validate_mont_batch(&self.params, MAX_LANES, xs, ys)?;
         let l = self.l;
         self.load(xs, ys);
         run_wave(
@@ -175,7 +192,7 @@ impl BitSlicedBatch {
         let cycles = (3 * l + 4) as u64;
         self.total_cycles += cycles;
         slices_to_lanes_into(&self.t[1..=l + 1], xs.len(), out);
-        cycles
+        Ok(cycles)
     }
 
     /// [`Self::mont_mul_batch_into`] returning a freshly allocated
@@ -366,7 +383,59 @@ pub fn mont_mul_many_with(
     kind: EngineKind,
 ) -> Vec<Ubig> {
     assert_eq!(xs.len(), ys.len(), "operand count mismatch");
-    let shards: Vec<(&[Ubig], &[Ubig])> = xs.chunks(MAX_LANES).zip(ys.chunks(MAX_LANES)).collect();
+    mont_mul_many_sharded(params, xs, ys, kind, MAX_LANES)
+}
+
+/// Fully fallible [`mont_mul_many`] driven by an [`EngineConfig`]
+/// (backend and shard width): every input rejection — length mismatch,
+/// an operand `≥ 2N` (reported with its index in `xs`/`ys`, not
+/// shard-local), a bit-sliced request on hardware-unsafe parameters —
+/// comes back as a typed [`MmmError`] instead of a panic, so one bad
+/// request cannot abort a serving process. Empty input is `Ok(vec![])`
+/// (a sharding façade has no lanes to reject). Ok-path results are
+/// bit-identical to [`mont_mul_many_with`] on the same backend.
+pub fn try_mont_mul_many(
+    params: &MontgomeryParams,
+    xs: &[Ubig],
+    ys: &[Ubig],
+    config: &EngineConfig,
+) -> Result<Vec<Ubig>, MmmError> {
+    if xs.len() != ys.len() {
+        return Err(MmmError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    config.backend().ensure_supports(params)?;
+    pool::try_global()?;
+    for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
+        if !(params.check_operand(x) && params.check_operand(y)) {
+            return Err(MmmError::OperandOutOfRange {
+                lane: k,
+                bound: crate::error::OperandBound::TwoN,
+            });
+        }
+    }
+    Ok(mont_mul_many_sharded(
+        params,
+        xs,
+        ys,
+        config.backend(),
+        config.shard_lanes(),
+    ))
+}
+
+/// The shared sharding core of [`mont_mul_many_with`] /
+/// [`try_mont_mul_many`]: inputs are assumed validated.
+fn mont_mul_many_sharded(
+    params: &MontgomeryParams,
+    xs: &[Ubig],
+    ys: &[Ubig],
+    kind: EngineKind,
+    shard_lanes: usize,
+) -> Vec<Ubig> {
+    let width = shard_lanes.clamp(1, MAX_LANES);
+    let shards: Vec<(&[Ubig], &[Ubig])> = xs.chunks(width).zip(ys.chunks(width)).collect();
     shards
         .into_par_iter()
         .map(|(sx, sy)| {

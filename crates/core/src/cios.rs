@@ -52,6 +52,7 @@
 //! layer: `modexp_batch_windowed` indexes its power table with secret
 //! digits whichever multiplier backend runs underneath.
 
+use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::MontgomeryParams;
 use crate::traits::{BatchMontMul, MontMul};
 use mmm_bigint::limbs::{adc, carrying_mul, mac_with_carry, Limb, LIMB_BITS};
@@ -267,17 +268,23 @@ impl CiosBatch {
     ///
     /// # Panics
     /// Panics on empty input, mismatched lengths, more than
-    /// [`MAX_LANES`] lanes, or any operand `≥ 2N`.
+    /// [`MAX_LANES`] lanes, or any operand `≥ 2N`;
+    /// [`CiosBatch::try_mont_mul_batch_into`] is the fallible variant.
     pub fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
-        assert!(!xs.is_empty(), "empty batch");
-        assert_eq!(xs.len(), ys.len(), "operand count mismatch");
-        assert!(xs.len() <= MAX_LANES, "at most {MAX_LANES} lanes");
-        for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
-            assert!(
-                self.params.check_operand(x) && self.params.check_operand(y),
-                "lane {k}: operands must be < 2N"
-            );
-        }
+        self.try_mont_mul_batch_into(xs, ys, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::mont_mul_batch_into`] returning every input rejection
+    /// as a typed [`MmmError`] (with the offending lane index for
+    /// out-of-range operands) instead of panicking.
+    pub fn try_mont_mul_batch_into(
+        &mut self,
+        xs: &[Ubig],
+        ys: &[Ubig],
+        out: &mut Vec<Ubig>,
+    ) -> Result<(), MmmError> {
+        validate_mont_batch(&self.params, MAX_LANES, xs, ys)?;
         lanes_to_limbs_into(xs, self.geo.sw, MAX_LANES, &mut self.x);
         lanes_to_limbs_into(ys, self.geo.sw, MAX_LANES, &mut self.y);
         self.t.fill(0);
@@ -289,6 +296,7 @@ impl CiosBatch {
             xs.len(),
             out,
         );
+        Ok(())
     }
 }
 

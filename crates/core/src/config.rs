@@ -1,0 +1,271 @@
+//! Typed engine configuration: one [`EngineConfig`] value carrying
+//! every knob that used to live in scattered process-global
+//! environment-variable reads.
+//!
+//! Before this module, backend selection (`MMM_ENGINE`) and the pool
+//! cap (`MMM_POOL_KEYS`) were each parsed inside their own `OnceLock`
+//! initializer — a typo panicked deep inside first use, and there was
+//! no way to configure a single session differently from the process.
+//! Now:
+//!
+//! * [`EngineConfig`] is an ordinary value with builder-style setters
+//!   ([`EngineConfig::with_backend`], [`EngineConfig::with_window`],
+//!   [`EngineConfig::with_pool_capacity`],
+//!   [`EngineConfig::with_shard_lanes`]) — construct one per session,
+//!   per test, per request class;
+//! * [`EngineConfig::from_env`] is the **single** place environment
+//!   variables are parsed, returning `Result<_, MmmError>` instead of
+//!   panicking — the process-global defaults
+//!   ([`EngineKind::default_kind`][crate::engine::EngineKind::default_kind],
+//!   [`pool::global`][crate::pool::global]) call it once and surface
+//!   any error as a clean first-use panic with the same message a
+//!   fallible caller would have received.
+//!
+//! ```
+//! use mmm_core::config::{EngineConfig, WindowPolicy};
+//! use mmm_core::engine::EngineKind;
+//!
+//! let config = EngineConfig::default()
+//!     .with_backend(EngineKind::BitSliced)
+//!     .with_window(WindowPolicy::Fixed(4))?
+//!     .with_shard_lanes(32)?;
+//! assert_eq!(config.backend(), EngineKind::BitSliced);
+//! # Ok::<(), mmm_core::error::MmmError>(())
+//! ```
+
+use crate::batch::MAX_LANES;
+use crate::engine::EngineKind;
+use crate::error::MmmError;
+use crate::pool::DEFAULT_MAX_KEYS;
+
+/// How the batched exponentiators pick their fixed-window width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Let the shared cost model
+    /// ([`crate::expo_window::best_fixed_window`]) pick per batch from
+    /// the longest exponent — the right default for mixed traffic.
+    #[default]
+    Auto,
+    /// Always use this window width (validated to `1..=8` by
+    /// [`EngineConfig::with_window`]).
+    Fixed(usize),
+}
+
+/// Every serving-path knob as one typed, validated value: multiplier
+/// backend, window policy, pool capacity, and shard width. See the
+/// module docs for the relationship to the `MMM_*` environment
+/// variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    backend: EngineKind,
+    window: WindowPolicy,
+    pool_capacity: usize,
+    shard_lanes: usize,
+}
+
+impl Default for EngineConfig {
+    /// The production defaults: CIOS backend, auto-tuned window,
+    /// [`DEFAULT_MAX_KEYS`] pool entries, full 64-lane shards. Note
+    /// this ignores the environment — use [`EngineConfig::from_env`]
+    /// for the env-respecting variant.
+    fn default() -> Self {
+        EngineConfig {
+            backend: EngineKind::Cios,
+            window: WindowPolicy::Auto,
+            pool_capacity: DEFAULT_MAX_KEYS,
+            shard_lanes: MAX_LANES,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The configured multiplier backend.
+    pub fn backend(&self) -> EngineKind {
+        self.backend
+    }
+
+    /// The configured fixed-window policy.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// The configured engine-pool key capacity.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool_capacity
+    }
+
+    /// Lanes per batch shard on the `*_many` / session paths.
+    pub fn shard_lanes(&self) -> usize {
+        self.shard_lanes
+    }
+
+    /// Selects the multiplier backend (infallible — both backends are
+    /// always valid choices at configuration time; a bit-sliced
+    /// checkout on hardware-unsafe parameters is rejected at session /
+    /// checkout time with [`MmmError::HardwareUnsafeWidth`]).
+    pub fn with_backend(mut self, backend: EngineKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the window policy; rejects fixed widths outside `1..=8`
+    /// with [`MmmError::WindowOutOfRange`].
+    pub fn with_window(mut self, window: WindowPolicy) -> Result<Self, MmmError> {
+        if let WindowPolicy::Fixed(w) = window {
+            if !(1..=8).contains(&w) {
+                return Err(MmmError::WindowOutOfRange { window: w });
+            }
+        }
+        self.window = window;
+        Ok(self)
+    }
+
+    /// Sets the pool key capacity; rejects zero with
+    /// [`MmmError::Config`].
+    ///
+    /// **Scope.** This knob takes effect where a pool is *built* from
+    /// the config: the process-wide [`pool::global`][crate::pool::global]
+    /// (sized once from [`EngineConfig::from_env`]) or an explicit
+    /// [`EnginePool::from_config`][crate::pool::EnginePool::from_config].
+    /// Session and `try_*_many` calls check their engines out of the
+    /// process-wide pool, so a per-session capacity does **not**
+    /// resize it — cap a process's key population via `MMM_POOL_KEYS`
+    /// or by building a dedicated `EnginePool`.
+    pub fn with_pool_capacity(mut self, capacity: usize) -> Result<Self, MmmError> {
+        if capacity == 0 {
+            return Err(MmmError::Config(
+                "pool capacity must be at least 1".to_string(),
+            ));
+        }
+        self.pool_capacity = capacity;
+        Ok(self)
+    }
+
+    /// Sets the lanes-per-shard width used when fanning wide workloads
+    /// out across cores; rejects widths outside `1..=64` with
+    /// [`MmmError::Config`]. Narrower shards trade throughput for
+    /// latency (more, smaller rayon tasks).
+    pub fn with_shard_lanes(mut self, lanes: usize) -> Result<Self, MmmError> {
+        if !(1..=MAX_LANES).contains(&lanes) {
+            return Err(MmmError::Config(format!(
+                "shard width must be in 1..={MAX_LANES}, got {lanes}"
+            )));
+        }
+        self.shard_lanes = lanes;
+        Ok(self)
+    }
+
+    /// The default configuration with every recognized `MMM_*`
+    /// environment variable applied: `MMM_ENGINE` (`cios` /
+    /// `bitsliced`) selects the backend, `MMM_POOL_KEYS` (a positive
+    /// integer) the pool capacity. This is the **only** place in the
+    /// workspace that parses these variables; an unrecognized or
+    /// unreadable value is an [`MmmError::Config`] naming the variable
+    /// — never a silent fallback, so a typo cannot turn an A/B
+    /// comparison into CIOS-vs-CIOS.
+    pub fn from_env() -> Result<Self, MmmError> {
+        Self::default().override_from_env()
+    }
+
+    /// Applies the `MMM_*` environment overrides on top of `self`
+    /// (see [`EngineConfig::from_env`]).
+    pub fn override_from_env(mut self) -> Result<Self, MmmError> {
+        match std::env::var("MMM_ENGINE") {
+            Ok(v) => {
+                self.backend = v.parse().map_err(|e: MmmError| match e {
+                    MmmError::Config(msg) => MmmError::Config(format!("MMM_ENGINE: {msg}")),
+                    other => other,
+                })?;
+            }
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => {
+                return Err(MmmError::Config(format!(
+                    "unreadable MMM_ENGINE value: {e}"
+                )));
+            }
+        }
+        match std::env::var("MMM_POOL_KEYS") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(c) if c >= 1 => self.pool_capacity = c,
+                _ => {
+                    return Err(MmmError::Config(format!(
+                        "MMM_POOL_KEYS must be a positive integer, got {v:?}"
+                    )));
+                }
+            },
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => {
+                return Err(MmmError::Config(format!(
+                    "unreadable MMM_POOL_KEYS value: {e}"
+                )));
+            }
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_production_defaults() {
+        let c = EngineConfig::default();
+        assert_eq!(c.backend(), EngineKind::Cios);
+        assert_eq!(c.window(), WindowPolicy::Auto);
+        assert_eq!(c.pool_capacity(), DEFAULT_MAX_KEYS);
+        assert_eq!(c.shard_lanes(), MAX_LANES);
+    }
+
+    #[test]
+    fn builder_setters_validate() {
+        let c = EngineConfig::default()
+            .with_backend(EngineKind::BitSliced)
+            .with_window(WindowPolicy::Fixed(5))
+            .unwrap()
+            .with_pool_capacity(7)
+            .unwrap()
+            .with_shard_lanes(16)
+            .unwrap();
+        assert_eq!(c.backend(), EngineKind::BitSliced);
+        assert_eq!(c.window(), WindowPolicy::Fixed(5));
+        assert_eq!(c.pool_capacity(), 7);
+        assert_eq!(c.shard_lanes(), 16);
+
+        assert_eq!(
+            EngineConfig::default().with_window(WindowPolicy::Fixed(0)),
+            Err(MmmError::WindowOutOfRange { window: 0 })
+        );
+        assert_eq!(
+            EngineConfig::default().with_window(WindowPolicy::Fixed(9)),
+            Err(MmmError::WindowOutOfRange { window: 9 })
+        );
+        assert!(matches!(
+            EngineConfig::default().with_pool_capacity(0),
+            Err(MmmError::Config(_))
+        ));
+        assert!(matches!(
+            EngineConfig::default().with_shard_lanes(0),
+            Err(MmmError::Config(_))
+        ));
+        assert!(matches!(
+            EngineConfig::default().with_shard_lanes(65),
+            Err(MmmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn from_env_without_overrides_is_default() {
+        // The test environment leaves MMM_ENGINE / MMM_POOL_KEYS unset
+        // (or, in the CI bit-sliced job, MMM_ENGINE=bitsliced — which
+        // from_env must follow, like default_kind does).
+        let c = EngineConfig::from_env().expect("clean environment parses");
+        match std::env::var("MMM_ENGINE").as_deref() {
+            Ok("bitsliced") | Ok("bit-sliced") => {
+                assert_eq!(c.backend(), EngineKind::BitSliced)
+            }
+            _ => assert_eq!(c.backend(), EngineKind::Cios),
+        }
+        assert_eq!(c.window(), WindowPolicy::Auto);
+    }
+}

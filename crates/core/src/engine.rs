@@ -23,9 +23,12 @@
 
 use crate::batch::BitSlicedBatch;
 use crate::cios::CiosBatch;
+use crate::config::EngineConfig;
+use crate::error::MmmError;
 use crate::montgomery::MontgomeryParams;
 use crate::traits::BatchMontMul;
 use mmm_bigint::Ubig;
+use std::str::FromStr;
 use std::sync::OnceLock;
 
 /// Which batch Montgomery multiplication backend to run.
@@ -53,31 +56,78 @@ impl EngineKind {
 
     /// The process-wide default backend: [`EngineKind::Cios`], unless
     /// the `MMM_ENGINE` environment variable selects otherwise
-    /// (`cios` / `bitsliced`, read once per process).
+    /// (`cios` / `bitsliced`). The environment is parsed **once** per
+    /// process through [`EngineConfig::from_env`] — the single home of
+    /// all `MMM_*` parsing — and the parse *result* is what gets
+    /// cached, so an invalid environment produces the same clean panic
+    /// message on every call instead of panicking inside a `OnceLock`
+    /// initializer on first use only.
     ///
     /// # Panics
-    /// Panics on an unrecognized `MMM_ENGINE` value — a typo must not
-    /// silently turn an A/B comparison into CIOS-vs-CIOS.
+    /// Panics on an invalid `MMM_*` environment (the
+    /// [`MmmError::Config`] text) — a typo must not silently turn an
+    /// A/B comparison into CIOS-vs-CIOS. Fallible callers should use
+    /// [`EngineConfig::from_env`] directly.
     pub fn default_kind() -> EngineKind {
-        static FROM_ENV: OnceLock<EngineKind> = OnceLock::new();
-        *FROM_ENV.get_or_init(|| match std::env::var("MMM_ENGINE").as_deref() {
-            Ok("bitsliced") | Ok("bit-sliced") => EngineKind::BitSliced,
-            Ok("cios") | Err(std::env::VarError::NotPresent) => EngineKind::Cios,
-            Ok(other) => panic!("unrecognized MMM_ENGINE value {other:?} (use cios|bitsliced)"),
-            Err(e) => panic!("unreadable MMM_ENGINE value: {e}"),
-        })
+        static FROM_ENV: OnceLock<Result<EngineKind, MmmError>> = OnceLock::new();
+        match FROM_ENV.get_or_init(|| EngineConfig::from_env().map(|c| c.backend())) {
+            Ok(kind) => *kind,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checks that this backend can run `params`: the bit-sliced
+    /// systolic simulation rejects hardware-unsafe parameters with
+    /// [`MmmError::HardwareUnsafeWidth`]; the CIOS backend accepts any
+    /// valid parameters (there is no carry cell to overflow in a
+    /// word-level scan). The one guard every fallible checkout/build
+    /// path shares, so a future backend or safety predicate changes in
+    /// exactly one place.
+    pub fn ensure_supports(self, params: &MontgomeryParams) -> Result<(), MmmError> {
+        if self == EngineKind::BitSliced && !params.is_hardware_safe() {
+            return Err(MmmError::HardwareUnsafeWidth { l: params.l() });
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh engine of this kind for `params`, rejecting a
+    /// bit-sliced request on hardware-unsafe parameters with
+    /// [`MmmError::HardwareUnsafeWidth`] (see
+    /// [`EngineKind::ensure_supports`]).
+    pub fn try_build(self, params: MontgomeryParams) -> Result<AnyBatchEngine, MmmError> {
+        match self {
+            EngineKind::Cios => Ok(AnyBatchEngine::Cios(CiosBatch::new(params))),
+            EngineKind::BitSliced => {
+                Ok(AnyBatchEngine::BitSliced(BitSlicedBatch::try_new(params)?))
+            }
+        }
     }
 
     /// Builds a fresh engine of this kind for `params`.
     ///
     /// # Panics
-    /// Panics (from `BitSlicedBatch::new`) if the bit-sliced backend is
-    /// requested for parameters that are not hardware-safe; the CIOS
-    /// backend accepts any valid parameters.
+    /// Panics if the bit-sliced backend is requested for parameters
+    /// that are not hardware-safe; [`EngineKind::try_build`] is the
+    /// fallible variant.
     pub fn build(self, params: MontgomeryParams) -> AnyBatchEngine {
-        match self {
-            EngineKind::Cios => AnyBatchEngine::Cios(CiosBatch::new(params)),
-            EngineKind::BitSliced => AnyBatchEngine::BitSliced(BitSlicedBatch::new(params)),
+        self.try_build(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = MmmError;
+
+    /// Parses the stable backend names (`cios`, `bitsliced`, with
+    /// `bit-sliced` accepted as an alias) — the inverse of
+    /// [`EngineKind::name`] and the parser behind the `MMM_ENGINE`
+    /// environment override.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cios" => Ok(EngineKind::Cios),
+            "bitsliced" | "bit-sliced" => Ok(EngineKind::BitSliced),
+            other => Err(MmmError::Config(format!(
+                "unrecognized engine backend {other:?} (use cios|bitsliced)"
+            ))),
         }
     }
 }
@@ -206,5 +256,35 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(EngineKind::Cios.name(), "cios");
         assert_eq!(EngineKind::BitSliced.name(), "bitsliced");
+    }
+
+    #[test]
+    fn from_str_roundtrips_names_and_rejects_typos() {
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.name().parse::<EngineKind>(), Ok(kind));
+        }
+        assert_eq!(
+            "bit-sliced".parse::<EngineKind>(),
+            Ok(EngineKind::BitSliced)
+        );
+        // The typo-must-not-become-CIOS-vs-CIOS guarantee, now as a
+        // returned error instead of a OnceLock panic.
+        let err = "coos".parse::<EngineKind>().unwrap_err();
+        assert!(matches!(err, MmmError::Config(_)), "{err}");
+        assert!(err.to_string().contains("coos"), "{err}");
+    }
+
+    #[test]
+    fn try_build_rejects_bitsliced_on_unsafe_params() {
+        // 251 at l=8: 3N-1 = 752 > 2^9 — the leftmost cell can drop a
+        // carry, so the systolic simulation must refuse while the
+        // word-level CIOS scan accepts.
+        let p = MontgomeryParams::tight(&Ubig::from(251u64));
+        assert!(!p.is_hardware_safe());
+        assert!(matches!(
+            EngineKind::BitSliced.try_build(p.clone()),
+            Err(MmmError::HardwareUnsafeWidth { l: 8 })
+        ));
+        assert!(EngineKind::Cios.try_build(p).is_ok());
     }
 }

@@ -41,13 +41,45 @@
 //! serving path used by `mmm-rsa`'s batched sign/verify/decrypt.
 
 use crate::batch::MAX_LANES;
+use crate::config::{EngineConfig, WindowPolicy};
 use crate::engine::EngineKind;
+use crate::error::{validate_reduced, MmmError};
 use crate::expo_window::best_fixed_window;
 use crate::montgomery::MontgomeryParams;
 use crate::pool;
 use crate::traits::BatchMontMul;
 use mmm_bigint::Ubig;
 use rayon::prelude::*;
+
+/// The exponent inputs of one batched scan: either one exponent per
+/// lane or a single exponent shared by every lane (one RSA key, many
+/// requests). The shared form exists so the serving path never
+/// materializes 64 clones of a private exponent per shard just to
+/// satisfy a per-lane signature.
+enum ExpSet<'a> {
+    /// `es[k]` drives lane `k`.
+    PerLane(&'a [Ubig]),
+    /// One exponent drives every lane.
+    Shared(&'a Ubig),
+}
+
+impl ExpSet<'_> {
+    /// The exponent feeding lane `k`.
+    fn exp(&self, k: usize) -> &Ubig {
+        match self {
+            ExpSet::PerLane(es) => &es[k],
+            ExpSet::Shared(e) => e,
+        }
+    }
+
+    /// Bit length of the longest exponent in the set.
+    fn max_bit_len(&self) -> usize {
+        match self {
+            ExpSet::PerLane(es) => es.iter().map(Ubig::bit_len).max().unwrap_or(0),
+            ExpSet::Shared(e) => e.bit_len(),
+        }
+    }
+}
 
 /// Statistics from one batched exponentiation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,29 +134,51 @@ impl<E: BatchMontMul> BatchModExp<E> {
         &self.engine
     }
 
-    /// Validates a batch and returns the modulus.
-    fn check_batch(&self, ms: &[Ubig], es: &[Ubig]) -> Ubig {
-        assert!(!ms.is_empty(), "empty batch");
-        assert_eq!(ms.len(), es.len(), "message/exponent count mismatch");
-        assert!(
-            ms.len() <= self.engine.max_lanes(),
-            "batch exceeds the engine's {} lanes",
-            self.engine.max_lanes()
-        );
-        let n = self.engine.params().n().clone();
-        for (k, m) in ms.iter().enumerate() {
-            assert!(m < &n, "lane {k}: message must be < N");
+    /// Validates a batch of messages against the engine contract and
+    /// returns the modulus.
+    fn try_check_batch(&self, ms: &[Ubig]) -> Result<Ubig, MmmError> {
+        if ms.is_empty() {
+            return Err(MmmError::EmptyBatch);
         }
-        n
+        if ms.len() > self.engine.max_lanes() {
+            return Err(MmmError::BatchTooWide {
+                lanes: ms.len(),
+                max_lanes: self.engine.max_lanes(),
+            });
+        }
+        let n = self.engine.params().n().clone();
+        validate_reduced(&n, ms)?;
+        Ok(n)
+    }
+
+    /// Validates the per-lane exponent slice length.
+    fn try_check_exponents(ms: &[Ubig], es: &[Ubig]) -> Result<(), MmmError> {
+        if ms.len() != es.len() {
+            return Err(MmmError::LengthMismatch {
+                left: ms.len(),
+                right: es.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Computes `ms[k] ^ es[k] mod N` for every lane `k` at once.
     ///
     /// # Panics
     /// Panics on empty input, mismatched lengths, more lanes than the
-    /// engine accepts, or any message `≥ N`.
+    /// engine accepts, or any message `≥ N`;
+    /// [`BatchModExp::try_modexp_batch`] is the fallible variant.
     pub fn modexp_batch(&mut self, ms: &[Ubig], es: &[Ubig]) -> Vec<Ubig> {
-        let n = self.check_batch(ms, es);
+        self.try_modexp_batch(ms, es)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchModExp::modexp_batch`]: every input rejection
+    /// comes back as a typed [`MmmError`] (the out-of-range variant
+    /// names the offending lane) instead of a panic.
+    pub fn try_modexp_batch(&mut self, ms: &[Ubig], es: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
+        Self::try_check_exponents(ms, es)?;
+        let n = self.try_check_batch(ms)?;
         let params = self.engine.params().clone();
         let lanes = ms.len();
 
@@ -168,7 +222,8 @@ impl<E: BatchMontMul> BatchModExp<E> {
         let ones = vec![Ubig::one(); lanes];
         let out = self.engine.mont_mul_batch(&a, &ones);
         self.stats.total_batch_muls += 1;
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|r| {
                 if r == n {
                     Ubig::zero()
@@ -177,7 +232,7 @@ impl<E: BatchMontMul> BatchModExp<E> {
                     r
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Computes `ms[k] ^ es[k] mod N` for every lane `k` at once with
@@ -203,10 +258,67 @@ impl<E: BatchMontMul> BatchModExp<E> {
     ///
     /// # Panics
     /// Panics on empty input, mismatched lengths, more lanes than the
-    /// engine accepts, any message `≥ N`, or `window ∉ [1, 8]`.
+    /// engine accepts, any message `≥ N`, or `window ∉ [1, 8]`;
+    /// [`BatchModExp::try_modexp_batch_windowed`] is the fallible
+    /// variant.
     pub fn modexp_batch_windowed(&mut self, ms: &[Ubig], es: &[Ubig], window: usize) -> Vec<Ubig> {
-        assert!((1..=8).contains(&window), "window must be in 1..=8");
-        let n = self.check_batch(ms, es);
+        self.try_modexp_batch_windowed(ms, es, window)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchModExp::modexp_batch_windowed`].
+    pub fn try_modexp_batch_windowed(
+        &mut self,
+        ms: &[Ubig],
+        es: &[Ubig],
+        window: usize,
+    ) -> Result<Vec<Ubig>, MmmError> {
+        Self::try_check_exponents(ms, es)?;
+        self.windowed_core(ms, ExpSet::PerLane(es), window)
+    }
+
+    /// [`BatchModExp::modexp_batch_windowed`] with one exponent shared
+    /// by **every** lane — the serving shape (one RSA key, many
+    /// requests). Semantically identical to passing `window` copies of
+    /// `e` per lane, but no per-lane exponent clones are ever
+    /// materialized: the scan reads digits straight from `e`.
+    ///
+    /// # Panics
+    /// Same contract as [`BatchModExp::modexp_batch_windowed`];
+    /// [`BatchModExp::try_modexp_batch_shared_windowed`] is the
+    /// fallible variant.
+    pub fn modexp_batch_shared_windowed(
+        &mut self,
+        ms: &[Ubig],
+        e: &Ubig,
+        window: usize,
+    ) -> Vec<Ubig> {
+        self.try_modexp_batch_shared_windowed(ms, e, window)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchModExp::modexp_batch_shared_windowed`].
+    pub fn try_modexp_batch_shared_windowed(
+        &mut self,
+        ms: &[Ubig],
+        e: &Ubig,
+        window: usize,
+    ) -> Result<Vec<Ubig>, MmmError> {
+        self.windowed_core(ms, ExpSet::Shared(e), window)
+    }
+
+    /// The lockstep fixed-window scan over either exponent shape —
+    /// the one implementation behind every windowed entry point.
+    fn windowed_core(
+        &mut self,
+        ms: &[Ubig],
+        es: ExpSet<'_>,
+        window: usize,
+    ) -> Result<Vec<Ubig>, MmmError> {
+        if !(1..=8).contains(&window) {
+            return Err(MmmError::WindowOutOfRange { window });
+        }
+        let n = self.try_check_batch(ms)?;
         let params = self.engine.params().clone();
         let lanes = ms.len();
 
@@ -221,15 +333,15 @@ impl<E: BatchMontMul> BatchModExp<E> {
         // [win·w, win·w + w), zero beyond the lane's length).
         let digit = |k: usize, win: usize| -> usize {
             let base = win * window;
-            (0..window)
-                .rev()
-                .fold(0usize, |d, b| (d << 1) | usize::from(es[k].bit(base + b)))
+            (0..window).rev().fold(0usize, |d, b| {
+                (d << 1) | usize::from(es.exp(k).bit(base + b))
+            })
         };
 
         // Left-to-right scan, top window first. All-zero exponents
         // (`windows == 0`) skip the table build entirely — the result
         // is 1̄ per lane and no table entry would ever be read.
-        let t = es.iter().map(Ubig::bit_len).max().unwrap_or(0);
+        let t = es.max_bit_len();
         let windows = t.div_ceil(window);
         let table_len = if windows == 0 { 0 } else { 1usize << window };
 
@@ -283,7 +395,8 @@ impl<E: BatchMontMul> BatchModExp<E> {
         let ones = vec![Ubig::one(); lanes];
         let out = self.engine.mont_mul_batch(&a, &ones);
         self.stats.total_batch_muls += 1;
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|r| {
                 if r == n {
                     Ubig::zero()
@@ -292,15 +405,41 @@ impl<E: BatchMontMul> BatchModExp<E> {
                     r
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// [`Self::modexp_batch_windowed`] with the window width the
     /// shared cost model ([`best_fixed_window`]) picks for the longest
     /// exponent in the batch.
     pub fn modexp_batch_auto(&mut self, ms: &[Ubig], es: &[Ubig]) -> Vec<Ubig> {
+        self.try_modexp_batch_auto(ms, es)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchModExp::modexp_batch_auto`].
+    pub fn try_modexp_batch_auto(
+        &mut self,
+        ms: &[Ubig],
+        es: &[Ubig],
+    ) -> Result<Vec<Ubig>, MmmError> {
         let t = es.iter().map(Ubig::bit_len).max().unwrap_or(0);
-        self.modexp_batch_windowed(ms, es, best_fixed_window(t.max(1)))
+        self.try_modexp_batch_windowed(ms, es, best_fixed_window(t.max(1)))
+    }
+
+    /// [`Self::modexp_batch_shared_windowed`] with the auto-picked
+    /// window width for the shared exponent.
+    pub fn modexp_batch_shared_auto(&mut self, ms: &[Ubig], e: &Ubig) -> Vec<Ubig> {
+        self.try_modexp_batch_shared_auto(ms, e)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BatchModExp::modexp_batch_shared_auto`].
+    pub fn try_modexp_batch_shared_auto(
+        &mut self,
+        ms: &[Ubig],
+        e: &Ubig,
+    ) -> Result<Vec<Ubig>, MmmError> {
+        self.try_modexp_batch_shared_windowed(ms, e, best_fixed_window(e.bit_len().max(1)))
     }
 
     /// Total simulated cycles consumed by the engine, if it counts.
@@ -331,11 +470,58 @@ pub fn modexp_many_with(
     kind: EngineKind,
 ) -> Vec<Ubig> {
     assert_eq!(ms.len(), es.len(), "message/exponent count mismatch");
-    let shards: Vec<(&[Ubig], &[Ubig])> = ms.chunks(MAX_LANES).zip(es.chunks(MAX_LANES)).collect();
+    modexp_many_sharded(params, ms, es, kind, MAX_LANES, WindowPolicy::Auto)
+}
+
+/// Fully fallible [`modexp_many`] driven by an [`EngineConfig`]
+/// (backend, shard width, window policy). Every input rejection is a
+/// typed [`MmmError`] — out-of-range messages are reported with their
+/// index in `ms`, not shard-local. Empty input is `Ok(vec![])`.
+pub fn try_modexp_many(
+    params: &MontgomeryParams,
+    ms: &[Ubig],
+    es: &[Ubig],
+    config: &EngineConfig,
+) -> Result<Vec<Ubig>, MmmError> {
+    if ms.len() != es.len() {
+        return Err(MmmError::LengthMismatch {
+            left: ms.len(),
+            right: es.len(),
+        });
+    }
+    config.backend().ensure_supports(params)?;
+    pool::try_global()?;
+    validate_reduced(params.n(), ms)?;
+    Ok(modexp_many_sharded(
+        params,
+        ms,
+        es,
+        config.backend(),
+        config.shard_lanes(),
+        config.window(),
+    ))
+}
+
+/// The shared sharding core of the per-lane-exponent many-path:
+/// inputs are assumed validated.
+fn modexp_many_sharded(
+    params: &MontgomeryParams,
+    ms: &[Ubig],
+    es: &[Ubig],
+    kind: EngineKind,
+    shard_lanes: usize,
+    window: WindowPolicy,
+) -> Vec<Ubig> {
+    let width = shard_lanes.clamp(1, MAX_LANES);
+    let shards: Vec<(&[Ubig], &[Ubig])> = ms.chunks(width).zip(es.chunks(width)).collect();
     shards
         .into_par_iter()
         .map(|(sm, se)| {
-            BatchModExp::new(pool::global().checkout_kind(params, kind)).modexp_batch_auto(sm, se)
+            let mut me = BatchModExp::new(pool::global().checkout_kind(params, kind));
+            match window {
+                WindowPolicy::Auto => me.modexp_batch_auto(sm, se),
+                WindowPolicy::Fixed(w) => me.modexp_batch_windowed(sm, se, w),
+            }
         })
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()
@@ -345,9 +531,9 @@ pub fn modexp_many_with(
 
 /// [`modexp_many`] for the common serving shape where every lane uses
 /// the **same** exponent (one RSA key, many requests): `ms[k] ^ e mod
-/// N` for all `k`. Avoids materializing a per-message copy of `e` —
-/// each 64-lane shard clones it at most 64 times, bounded per worker,
-/// instead of once per queued message.
+/// N` for all `k`. The shared exponent is never cloned per lane — each
+/// shard's windowed scan reads its digits straight from `e` through
+/// [`BatchModExp::modexp_batch_shared_auto`].
 ///
 /// # Panics
 /// Panics if any message is `≥ N`.
@@ -362,12 +548,50 @@ pub fn modexp_many_shared_with(
     e: &Ubig,
     kind: EngineKind,
 ) -> Vec<Ubig> {
-    let shards: Vec<&[Ubig]> = ms.chunks(MAX_LANES).collect();
+    modexp_many_shared_sharded(params, ms, e, kind, MAX_LANES, WindowPolicy::Auto)
+}
+
+/// Fully fallible [`modexp_many_shared`] driven by an
+/// [`EngineConfig`]. Empty input is `Ok(vec![])`.
+pub fn try_modexp_many_shared(
+    params: &MontgomeryParams,
+    ms: &[Ubig],
+    e: &Ubig,
+    config: &EngineConfig,
+) -> Result<Vec<Ubig>, MmmError> {
+    config.backend().ensure_supports(params)?;
+    pool::try_global()?;
+    validate_reduced(params.n(), ms)?;
+    Ok(modexp_many_shared_sharded(
+        params,
+        ms,
+        e,
+        config.backend(),
+        config.shard_lanes(),
+        config.window(),
+    ))
+}
+
+/// The shared sharding core of the shared-exponent many-path: inputs
+/// are assumed validated.
+fn modexp_many_shared_sharded(
+    params: &MontgomeryParams,
+    ms: &[Ubig],
+    e: &Ubig,
+    kind: EngineKind,
+    shard_lanes: usize,
+    window: WindowPolicy,
+) -> Vec<Ubig> {
+    let width = shard_lanes.clamp(1, MAX_LANES);
+    let shards: Vec<&[Ubig]> = ms.chunks(width).collect();
     shards
         .into_par_iter()
         .map(|sm| {
-            let es = vec![e.clone(); sm.len()];
-            BatchModExp::new(pool::global().checkout_kind(params, kind)).modexp_batch_auto(sm, &es)
+            let mut me = BatchModExp::new(pool::global().checkout_kind(params, kind));
+            match window {
+                WindowPolicy::Auto => me.modexp_batch_shared_auto(sm, e),
+                WindowPolicy::Fixed(w) => me.modexp_batch_shared_windowed(sm, e, w),
+            }
         })
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()
@@ -491,6 +715,41 @@ mod tests {
             for k in 0..count {
                 assert_eq!(got[k], ms[k].modpow(&es[k], p.n()), "count={count} k={k}");
             }
+        }
+    }
+
+    #[test]
+    fn shared_windowed_scan_matches_per_lane_clones() {
+        // The shared-exponent scan must be bit-identical to feeding
+        // every lane a clone of the exponent (the layout it replaced).
+        let mut rng = StdRng::seed_from_u64(317);
+        let p = random_safe_params(&mut rng, 40);
+        let ms: Vec<Ubig> = (0..7)
+            .map(|_| Ubig::random_below(&mut rng, p.n()))
+            .collect();
+        for e in [
+            Ubig::zero(),
+            Ubig::from(65537u64),
+            Ubig::random_bits(&mut rng, 40),
+        ] {
+            let es = vec![e.clone(); ms.len()];
+            for w in [1usize, 3, 5] {
+                let mut shared = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+                let mut cloned = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+                assert_eq!(
+                    shared.modexp_batch_shared_windowed(&ms, &e, w),
+                    cloned.modexp_batch_windowed(&ms, &es, w),
+                    "w={w}"
+                );
+                // Identical schedule, not just identical results.
+                assert_eq!(shared.stats(), cloned.stats(), "w={w}");
+            }
+            let mut auto_shared = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+            let mut auto_cloned = BatchModExp::new(BitSlicedBatch::new(p.clone()));
+            assert_eq!(
+                auto_shared.modexp_batch_shared_auto(&ms, &e),
+                auto_cloned.modexp_batch_auto(&ms, &es)
+            );
         }
     }
 

@@ -26,6 +26,11 @@
 //!    default through the backend-dispatch layer ([`engine`]) with the
 //!    bit-sliced array retained as the fidelity oracle. See
 //!    `DESIGN.md` §7.
+//! 7. **Typed serving surface** ([`error`], [`config`]) — fallible
+//!    `try_*` twins of every batch entry point returning
+//!    [`MmmError`] instead of panicking, and the [`EngineConfig`]
+//!    builder that absorbs the `MMM_*` environment variables into one
+//!    validated value. See `DESIGN.md` §8.
 //!
 //! [`montgomery`] holds the word-independent reference algorithms
 //! (Algorithm 1 with final subtraction and Algorithm 2 without), and
@@ -50,9 +55,11 @@ pub mod array;
 pub mod batch;
 pub mod cells;
 pub mod cios;
+pub mod config;
 pub mod controller;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod expo;
 pub mod expo_batch;
 pub mod expo_window;
@@ -66,7 +73,9 @@ pub mod wave_packed;
 
 pub use batch::BitSlicedBatch;
 pub use cios::{CiosBatch, CiosMont};
+pub use config::{EngineConfig, WindowPolicy};
 pub use engine::{AnyBatchEngine, EngineKind};
+pub use error::{MmmError, OperandBound};
 pub use expo::ModExp;
 pub use expo_batch::BatchModExp;
 pub use mmmc::Mmmc;

@@ -3,6 +3,7 @@
 //! together with the parameter bookkeeping around Walter's bound
 //! `4N < R = 2^{l+2}`.
 
+use crate::error::MmmError;
 use mmm_bigint::limbs::LIMB_BITS;
 use mmm_bigint::Ubig;
 
@@ -91,30 +92,46 @@ pub struct MontgomeryParams {
 }
 
 impl MontgomeryParams {
-    /// Creates parameters for modulus `n` and width `l`.
-    ///
-    /// # Panics
-    /// Panics if the invariants documented on the type are violated.
-    pub fn new(n: &Ubig, l: usize) -> Self {
-        assert!(l >= 3, "width l must be at least 3 (got {l})");
-        assert!(n.is_odd(), "N must be odd");
-        assert!(*n >= Ubig::from(3u64), "N must be at least 3");
-        assert!(
-            n.bit_len() <= l,
-            "N has {} bits but the datapath width is l={}",
-            n.bit_len(),
-            l
-        );
+    /// Creates parameters for modulus `n` and width `l`, rejecting any
+    /// violated invariant as a typed [`MmmError`]
+    /// ([`MmmError::WidthTooSmall`], [`MmmError::EvenModulus`],
+    /// [`MmmError::ModulusTooSmall`], [`MmmError::WidthTooNarrow`])
+    /// instead of panicking.
+    pub fn try_new(n: &Ubig, l: usize) -> Result<Self, MmmError> {
+        if l < 3 {
+            return Err(MmmError::WidthTooSmall { l });
+        }
+        if !n.is_odd() {
+            return Err(MmmError::EvenModulus);
+        }
+        if *n < Ubig::from(3u64) {
+            return Err(MmmError::ModulusTooSmall);
+        }
+        if n.bit_len() > l {
+            return Err(MmmError::WidthTooNarrow {
+                bits: n.bit_len(),
+                l,
+            });
+        }
         let r = Ubig::pow2(l + 2);
         let r_mod_n = r.rem(n);
         let r2_mod_n = (&r * &r).rem(n);
-        MontgomeryParams {
+        Ok(MontgomeryParams {
             n: n.clone(),
             l,
             r_mod_n,
             r2_mod_n,
             two_n: n.shl_bits(1),
-        }
+        })
+    }
+
+    /// Creates parameters for modulus `n` and width `l`.
+    ///
+    /// # Panics
+    /// Panics if the invariants documented on the type are violated;
+    /// [`MontgomeryParams::try_new`] is the fallible variant.
+    pub fn new(n: &Ubig, l: usize) -> Self {
+        Self::try_new(n, l).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Parameters with the tightest width: `l = bitlen(N)`.
@@ -122,10 +139,20 @@ impl MontgomeryParams {
         Self::new(n, n.bit_len().max(3))
     }
 
+    /// Fallible [`MontgomeryParams::tight`].
+    pub fn try_tight(n: &Ubig) -> Result<Self, MmmError> {
+        Self::try_new(n, n.bit_len().max(3))
+    }
+
     /// Parameters at the smallest width that is **hardware-safe** for
     /// this modulus (see [`MontgomeryParams::is_hardware_safe`]).
     pub fn hardware_safe(n: &Ubig) -> Self {
         Self::new(n, Self::min_hardware_width(n))
+    }
+
+    /// Fallible [`MontgomeryParams::hardware_safe`].
+    pub fn try_hardware_safe(n: &Ubig) -> Result<Self, MmmError> {
+        Self::try_new(n, Self::min_hardware_width(n))
     }
 
     /// Smallest datapath width `l` at which the systolic array cannot

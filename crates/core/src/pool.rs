@@ -45,7 +45,9 @@
 //!
 //! The process-wide instance is [`global`].
 
+use crate::config::EngineConfig;
 use crate::engine::{AnyBatchEngine, EngineKind};
+use crate::error::MmmError;
 use crate::montgomery::MontgomeryParams;
 use crate::traits::BatchMontMul;
 use mmm_bigint::Ubig;
@@ -152,6 +154,12 @@ impl EnginePool {
         self.capacity
     }
 
+    /// Creates an empty pool sized from an [`EngineConfig`] (the
+    /// builder validated the capacity, so this cannot panic).
+    pub fn from_config(config: &EngineConfig) -> Self {
+        EnginePool::with_capacity(config.pool_capacity())
+    }
+
     /// Looks up (or creates) the entry for modulus `n` at width `l`,
     /// building parameters with `make` **outside** the map lock on a
     /// miss (the constant divisions must not stall other keys'
@@ -242,9 +250,29 @@ impl EnginePool {
         self.checkout_kind(params, EngineKind::default_kind())
     }
 
+    /// Fallible [`EnginePool::checkout_kind`]: rejects a bit-sliced
+    /// checkout on hardware-unsafe parameters with
+    /// [`MmmError::HardwareUnsafeWidth`] instead of panicking inside
+    /// the engine constructor — the serving-session path uses this so
+    /// a misconfigured backend surfaces as an error at session build,
+    /// not a crash at first request.
+    pub fn try_checkout_kind(
+        &self,
+        params: &MontgomeryParams,
+        kind: EngineKind,
+    ) -> Result<PooledEngine, MmmError> {
+        kind.ensure_supports(params)?;
+        Ok(self.checkout_kind(params, kind))
+    }
+
     /// Checks out a warm engine of an explicit backend for `params`,
     /// building one only if no idle engine of that kind is pooled for
     /// this key.
+    ///
+    /// # Panics
+    /// Panics if the bit-sliced backend is requested for
+    /// hardware-unsafe parameters;
+    /// [`EnginePool::try_checkout_kind`] is the fallible variant.
     pub fn checkout_kind(&self, params: &MontgomeryParams, kind: EngineKind) -> PooledEngine {
         // The caller already computed the params, so a miss here costs
         // one clone, never a division.
@@ -361,23 +389,30 @@ impl BatchMontMul for PooledEngine {
 /// RSA key costs three entries: `N`, `p`, `q`), where LRU thrash
 /// would otherwise degrade checkouts to rebuild-per-call.
 ///
+/// The environment is parsed once through
+/// [`EngineConfig::from_env`] — the single home of all `MMM_*`
+/// parsing — and the parse *result* is cached, so an invalid
+/// environment yields the same clean panic on every call rather than
+/// a one-shot panic inside a `OnceLock` initializer.
+///
 /// # Panics
-/// First use panics on an unparseable or zero `MMM_POOL_KEYS` value —
-/// a typo must not silently fall back to the default cap.
+/// Panics on an invalid `MMM_*` environment (the [`MmmError::Config`]
+/// text) — a typo must not silently fall back to the default cap.
+/// [`try_global`] is the fallible variant the `try_*`/session paths
+/// use, so callers who never opted into env parsing get the broken
+/// environment as an error value instead of a process abort.
 pub fn global() -> &'static EnginePool {
-    static POOL: OnceLock<EnginePool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let capacity = match std::env::var("MMM_POOL_KEYS") {
-            Ok(v) => v
-                .parse::<usize>()
-                .ok()
-                .filter(|&c| c >= 1)
-                .unwrap_or_else(|| panic!("MMM_POOL_KEYS must be a positive integer, got {v:?}")),
-            Err(std::env::VarError::NotPresent) => DEFAULT_MAX_KEYS,
-            Err(e) => panic!("unreadable MMM_POOL_KEYS value: {e}"),
-        };
-        EnginePool::with_capacity(capacity)
-    })
+    try_global().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`global`]: returns the process-wide pool, or the
+/// [`MmmError::Config`] describing the invalid `MMM_*` environment.
+/// The parse runs once; the cached result is shared with [`global`].
+pub fn try_global() -> Result<&'static EnginePool, MmmError> {
+    static POOL: OnceLock<Result<EnginePool, MmmError>> = OnceLock::new();
+    POOL.get_or_init(|| EngineConfig::from_env().map(|c| EnginePool::from_config(&c)))
+        .as_ref()
+        .map_err(Clone::clone)
 }
 
 #[cfg(test)]
@@ -595,6 +630,27 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn rejects_zero_capacity() {
         let _ = EnginePool::with_capacity(0);
+    }
+
+    #[test]
+    fn try_checkout_rejects_bitsliced_on_unsafe_params() {
+        let pool = EnginePool::new();
+        // 251 at tight width l=8 is hardware-unsafe (3N-1 > 2^9).
+        let p = MontgomeryParams::tight(&Ubig::from(251u64));
+        assert!(!p.is_hardware_safe());
+        assert!(matches!(
+            pool.try_checkout_kind(&p, EngineKind::BitSliced),
+            Err(MmmError::HardwareUnsafeWidth { l: 8 })
+        ));
+        // The word-level backend has no carry cell to overflow.
+        let cios = pool.try_checkout_kind(&p, EngineKind::Cios).unwrap();
+        assert_eq!(cios.kind(), EngineKind::Cios);
+    }
+
+    #[test]
+    fn from_config_sizes_the_pool() {
+        let config = EngineConfig::default().with_pool_capacity(3).unwrap();
+        assert_eq!(EnginePool::from_config(&config).capacity(), 3);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! fast wave model, the gate-level MMMC, and the baselines), so the
 //! exponentiator, RSA and ECC layers are engine-agnostic.
 
+use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::{mont_mul_alg2, MontgomeryParams};
 use mmm_bigint::Ubig;
 
@@ -46,6 +47,17 @@ pub trait BatchMontMul {
     /// One batch of Montgomery multiplications: lane `k` of the result
     /// is `xs[k]·ys[k]·R⁻¹ (mod N)`.
     fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig>;
+
+    /// Fallible [`BatchMontMul::mont_mul_batch`]: validates the batch
+    /// contract up front (non-empty, equal lengths, within
+    /// [`BatchMontMul::max_lanes`], every operand `< 2N` — reported
+    /// with the offending lane index) and returns a typed
+    /// [`MmmError`] instead of panicking. The Ok path is bit-identical
+    /// to the panicking entry point on every engine.
+    fn try_mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
+        validate_mont_batch(self.params(), self.max_lanes(), xs, ys)?;
+        Ok(self.mont_mul_batch(xs, ys))
+    }
 
     /// Like [`BatchMontMul::mont_mul_batch`], but writing into a
     /// caller-provided buffer so engines that support it can recycle

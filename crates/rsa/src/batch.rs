@@ -27,10 +27,11 @@
 use crate::keys::RsaKeyPair;
 use mmm_bigint::Ubig;
 use mmm_core::batch::MAX_LANES;
+use mmm_core::error::OperandBound;
 use mmm_core::expo_batch::modexp_many_shared_with;
 use mmm_core::montgomery::MontgomeryParams;
 use mmm_core::pool;
-use mmm_core::{BatchModExp, EngineKind};
+use mmm_core::{BatchModExp, EngineConfig, EngineKind, MmmError, WindowPolicy};
 use rayon::prelude::*;
 
 /// Pooled hardware-safe parameters for a key's modulus.
@@ -110,23 +111,56 @@ pub fn decrypt_crt_batch_with(key: &RsaKeyPair, cs: &[Ubig], kind: EngineKind) -
     for (k, c) in cs.iter().enumerate() {
         assert!(c < &key.n, "lane {k}: ciphertext must be < N");
     }
+    let config = EngineConfig::default().with_backend(kind);
+    decrypt_crt_core(key, &pparams, &qparams, cs, &config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The shared CRT decryption core behind [`decrypt_crt_batch_with`]
+/// and [`crate::server::KeyedSession::decrypt_crt`]: validates inputs
+/// as typed errors, then runs each CRT half through the
+/// **shared-exponent** windowed batch scan — the per-shard
+/// `vec![d.clone(); lanes]` materialization is gone; each half's scan
+/// reads its digits straight from `d_p`/`d_q`.
+pub(crate) fn decrypt_crt_core(
+    key: &RsaKeyPair,
+    pparams: &MontgomeryParams,
+    qparams: &MontgomeryParams,
+    cs: &[Ubig],
+    config: &EngineConfig,
+) -> Result<Vec<Ubig>, MmmError> {
+    for (k, c) in cs.iter().enumerate() {
+        if c >= &key.n {
+            return Err(MmmError::OperandOutOfRange {
+                lane: k,
+                bound: OperandBound::N,
+            });
+        }
+    }
+    let kind = config.backend();
+    kind.ensure_supports(pparams)?;
+    kind.ensure_supports(qparams)?;
+    let pool = pool::try_global()?;
     // Fan out over (shard × prime half): the mod-p and mod-q runs of
     // a shard are independent, so they parallelize too — a queue of
     // ≤ 64 ciphertexts still fills two cores instead of one.
-    let shards: Vec<&[Ubig]> = cs.chunks(MAX_LANES).collect();
+    let width = config.shard_lanes().clamp(1, MAX_LANES);
+    let shards: Vec<&[Ubig]> = cs.chunks(width).collect();
     let half_runs: Vec<(&[Ubig], &MontgomeryParams, &Ubig)> = shards
         .iter()
-        .flat_map(|&shard| [(shard, &pparams, &key.dp), (shard, &qparams, &key.dq)])
+        .flat_map(|&shard| [(shard, pparams, &key.dp), (shard, qparams, &key.dq)])
         .collect();
     let halves: Vec<Vec<Ubig>> = half_runs
         .into_par_iter()
         .map(|(shard, params, d)| {
             let residues: Vec<Ubig> = shard.iter().map(|c| c.rem(params.n())).collect();
-            let ds = vec![d.clone(); shard.len()];
-            BatchModExp::new(pool.checkout_kind(params, kind)).modexp_batch_auto(&residues, &ds)
+            let mut me = BatchModExp::new(pool.checkout_kind(params, kind));
+            match config.window() {
+                WindowPolicy::Auto => me.modexp_batch_shared_auto(&residues, d),
+                WindowPolicy::Fixed(w) => me.modexp_batch_shared_windowed(&residues, d, w),
+            }
         })
         .collect();
-    halves
+    Ok(halves
         .chunks(2)
         .flat_map(|pair| {
             let (mps, mqs) = (&pair[0], &pair[1]);
@@ -134,7 +168,7 @@ pub fn decrypt_crt_batch_with(key: &RsaKeyPair, cs: &[Ubig], kind: EngineKind) -
                 .zip(mqs)
                 .map(|(mp, mq)| crate::cipher::garner(key, mp, mq))
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

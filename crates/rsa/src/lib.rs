@@ -7,6 +7,12 @@
 //! convention), and encryption/decryption over **any** [`MontMul`]
 //! engine, so the same keys run on the software reference, the
 //! behavioral wave model, or the gate-level MMMC simulation.
+//!
+//! Server-shaped callers should start from the typed serving API in
+//! [`server`]: a fallible per-key [`KeyedSession`] handle plus the
+//! [`BatchCollector`] request aggregator, configured through one
+//! [`EngineConfig`] value. The free functions in [`batch`] remain as
+//! thin panicking wrappers for harness code and benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +20,7 @@
 pub mod batch;
 pub mod cipher;
 pub mod keys;
+pub mod server;
 pub mod signing;
 
 pub use batch::{
@@ -22,7 +29,8 @@ pub use batch::{
 };
 pub use cipher::{decrypt, decrypt_crt, encrypt};
 pub use keys::RsaKeyPair;
+pub use server::{BatchCollector, BatchOp, KeyedSession};
 pub use signing::{decrypt_blinded, sign, verify};
 
 pub use mmm_core::traits::{BatchMontMul, MontMul};
-pub use mmm_core::EngineKind;
+pub use mmm_core::{EngineConfig, EngineKind, MmmError, WindowPolicy};

@@ -1,0 +1,408 @@
+//! The typed serving API: a per-key session handle and a request
+//! aggregator, replacing the free-function/`&RsaKeyPair`-threading
+//! surface for server-shaped callers.
+//!
+//! The batch entry points in [`crate::batch`] answer "I have a `Vec`
+//! of 100 ciphertexts" — a research harness shape. Real traffic is
+//! *millions of independent clients* each submitting one request
+//! against a long-lived key, which needs two things the free
+//! functions don't provide:
+//!
+//! * [`KeyedSession`] — one handle owning the key **and** its pooled
+//!   Montgomery parameters (`N`, and the CRT primes `p`/`q`) plus the
+//!   engine configuration, built once and reused for every request.
+//!   No more threading `&RsaKeyPair` + [`EngineKind`] through every
+//!   call, and no panics: every method returns
+//!   `Result<_, MmmError>`, so one client's unreduced message bounces
+//!   that request instead of aborting the process.
+//! * [`BatchCollector`] — accepts **individually submitted** requests,
+//!   aggregates them toward full 64-lane shards, and returns
+//!   per-request results in submission order on
+//!   [`BatchCollector::flush`] — the missing aggregation step between
+//!   a pre-assembled `Vec` and independent clients. Results are
+//!   bit-identical to calling the corresponding batch function on the
+//!   same inputs (asserted by `tests/serving_api.rs` on both
+//!   backends).
+//!
+//! Backend, window policy, pool capacity and shard width all come
+//! from one validated [`EngineConfig`] value; use
+//! [`EngineConfig::from_env`] to honor the `MMM_ENGINE` /
+//! `MMM_POOL_KEYS` environment overrides.
+
+use crate::batch::decrypt_crt_core;
+use crate::keys::RsaKeyPair;
+use mmm_bigint::Ubig;
+use mmm_core::error::OperandBound;
+use mmm_core::expo_batch::try_modexp_many_shared;
+use mmm_core::montgomery::MontgomeryParams;
+use mmm_core::pool;
+use mmm_core::{EngineConfig, EngineKind, MmmError};
+
+/// A serving session bound to one RSA key: owns the key, its pooled
+/// Montgomery parameters for `N` and both CRT primes, and the engine
+/// configuration. Construction pre-warms one engine per modulus in
+/// the process-wide pool, so the first request pays no setup.
+///
+/// ```
+/// use mmm_bigint::Ubig;
+/// use mmm_core::{EngineConfig, MmmError};
+/// use mmm_rsa::{KeyedSession, RsaKeyPair};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), MmmError> {
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let key = RsaKeyPair::generate(&mut rng, 32, 8);
+/// let session = KeyedSession::new(key, EngineConfig::default())?;
+///
+/// let ms = vec![Ubig::from(42u64), Ubig::from(7u64)];
+/// let sigs = session.sign(&ms)?;
+/// assert!(session.verify(&ms, &sigs)?.into_iter().all(|ok| ok));
+///
+/// // Bad input is a value, not a crash — and it names the lane.
+/// let huge = session.key().n.clone();
+/// let err = session.sign(&[Ubig::from(1u64), huge]).unwrap_err();
+/// assert!(matches!(err, MmmError::OperandOutOfRange { lane: 1, .. }));
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedSession {
+    key: RsaKeyPair,
+    config: EngineConfig,
+    /// Pooled hardware-safe parameters for the public modulus `N`.
+    params: MontgomeryParams,
+    /// Pooled parameters for the CRT primes.
+    pparams: MontgomeryParams,
+    qparams: MontgomeryParams,
+}
+
+impl KeyedSession {
+    /// Builds a session for `key` under `config`: resolves the pooled
+    /// parameters for `N`, `p` and `q` (the wide constant divisions
+    /// run at most once per key process-wide) and pre-warms one
+    /// engine of the configured backend per modulus.
+    ///
+    /// Fails with [`MmmError::Config`] if the process-wide pool
+    /// cannot initialize (a broken `MMM_*` environment), or with
+    /// [`MmmError::HardwareUnsafeWidth`] if the configured backend
+    /// cannot run this key's parameters — which the pooled
+    /// (hardware-safe) widths never trigger, but the check is kept so
+    /// a future parameter source cannot turn a misconfiguration into
+    /// a first-request crash.
+    pub fn new(key: RsaKeyPair, config: EngineConfig) -> Result<Self, MmmError> {
+        // A broken MMM_* environment surfaces here as a value — this
+        // constructor must not inherit global()'s first-use panic.
+        let pool = pool::try_global()?;
+        let params = pool.params_for(&key.n);
+        let pparams = pool.params_for(&key.p);
+        let qparams = pool.params_for(&key.q);
+        for ps in [&params, &pparams, &qparams] {
+            drop(pool.try_checkout_kind(ps, config.backend())?);
+        }
+        Ok(KeyedSession {
+            key,
+            config,
+            params,
+            pparams,
+            qparams,
+        })
+    }
+
+    /// The session's key pair.
+    pub fn key(&self) -> &RsaKeyPair {
+        &self.key
+    }
+
+    /// The session's engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The multiplier backend this session runs on.
+    pub fn backend(&self) -> EngineKind {
+        self.config.backend()
+    }
+
+    /// Signs every message: `s_k = m_k ^ D mod N`. Lanes beyond the
+    /// configured shard width fan out across cores on warm pooled
+    /// engines. Rejects any message `≥ N` with
+    /// [`MmmError::OperandOutOfRange`] naming the lane; empty input
+    /// is `Ok(vec![])`.
+    pub fn sign(&self, ms: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
+        try_modexp_many_shared(&self.params, ms, &self.key.d, &self.config)
+    }
+
+    /// Verifies every signature: `s_k ^ E mod N == m_k`. Rejects
+    /// mismatched slice lengths with [`MmmError::LengthMismatch`] and
+    /// any signature `≥ N` with [`MmmError::OperandOutOfRange`].
+    pub fn verify(&self, ms: &[Ubig], sigs: &[Ubig]) -> Result<Vec<bool>, MmmError> {
+        if ms.len() != sigs.len() {
+            return Err(MmmError::LengthMismatch {
+                left: ms.len(),
+                right: sigs.len(),
+            });
+        }
+        let recovered = try_modexp_many_shared(&self.params, sigs, &self.key.e, &self.config)?;
+        Ok(recovered.iter().zip(ms).map(|(r, m)| r == m).collect())
+    }
+
+    /// Decrypts every ciphertext with the full-width scan:
+    /// `m_k = c_k ^ D mod N`. Prefer [`KeyedSession::decrypt_crt`] —
+    /// it is ~4× cheaper; this entry point exists for keys whose CRT
+    /// components are unavailable.
+    pub fn decrypt(&self, cs: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
+        try_modexp_many_shared(&self.params, cs, &self.key.d, &self.config)
+    }
+
+    /// CRT-decrypts every ciphertext: per shard, two half-width
+    /// shared-exponent windowed batch runs (mod `p`, mod `q`) and a
+    /// per-lane Garner recombination — bit-identical to
+    /// [`crate::batch::decrypt_crt_batch`] on the same inputs.
+    /// Rejects any ciphertext `≥ N` with
+    /// [`MmmError::OperandOutOfRange`] naming the lane.
+    pub fn decrypt_crt(&self, cs: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
+        decrypt_crt_core(&self.key, &self.pparams, &self.qparams, cs, &self.config)
+    }
+
+    /// A fresh [`BatchCollector`] aggregating individually submitted
+    /// requests for `op` against this session.
+    pub fn collector(&self, op: BatchOp) -> BatchCollector<'_> {
+        BatchCollector {
+            session: self,
+            op,
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Which single-input operation a [`BatchCollector`] aggregates.
+/// (Verification takes message *and* signature per request, so it
+/// stays on [`KeyedSession::verify`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// `m ^ D mod N` per request ([`KeyedSession::sign`]).
+    Sign,
+    /// Full-width `c ^ D mod N` per request ([`KeyedSession::decrypt`]).
+    Decrypt,
+    /// CRT decryption per request ([`KeyedSession::decrypt_crt`]) —
+    /// the serving flagship.
+    DecryptCrt,
+}
+
+/// Aggregates **individually submitted** requests into full batch
+/// shards: clients call [`BatchCollector::submit`] one request at a
+/// time (validated immediately, so a bad request bounces without
+/// poisoning the batch), and [`BatchCollector::flush`] runs the whole
+/// queue through the session, returning results **in submission
+/// order** — `results[id]` answers the submit that returned `id`.
+///
+/// ```
+/// use mmm_bigint::Ubig;
+/// use mmm_core::{EngineConfig, MmmError};
+/// use mmm_rsa::{BatchOp, KeyedSession, RsaKeyPair};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), MmmError> {
+/// let mut rng = StdRng::seed_from_u64(11);
+/// let key = RsaKeyPair::generate(&mut rng, 32, 8);
+/// let session = KeyedSession::new(key, EngineConfig::default())?;
+///
+/// // Independent clients trickle in ciphertexts one at a time...
+/// let messages = vec![Ubig::from(5u64), Ubig::from(900u64), Ubig::from(31u64)];
+/// let mut collector = session.collector(BatchOp::DecryptCrt);
+/// for m in &messages {
+///     let c = m.modpow(&session.key().e, &session.key().n);
+///     let id = collector.submit(c)?;
+///     assert_eq!(id + 1, collector.len());
+/// }
+///
+/// // ...and one flush answers all of them, in submission order.
+/// let decrypted = collector.flush()?;
+/// assert_eq!(decrypted, messages);
+/// assert!(collector.is_empty());
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct BatchCollector<'s> {
+    session: &'s KeyedSession,
+    op: BatchOp,
+    pending: Vec<Ubig>,
+}
+
+impl BatchCollector<'_> {
+    /// The operation this collector aggregates.
+    pub fn op(&self) -> BatchOp {
+        self.op
+    }
+
+    /// Queues one request, validating it immediately: a value `≥ N`
+    /// is rejected with [`MmmError::OperandOutOfRange`] (its `lane`
+    /// is the id the request *would* have had) and leaves the queue
+    /// untouched. Returns the request id — the index of this
+    /// request's result in the next [`BatchCollector::flush`].
+    pub fn submit(&mut self, request: Ubig) -> Result<usize, MmmError> {
+        if request >= self.session.key.n {
+            return Err(MmmError::OperandOutOfRange {
+                lane: self.pending.len(),
+                bound: OperandBound::N,
+            });
+        }
+        self.pending.push(request);
+        Ok(self.pending.len() - 1)
+    }
+
+    /// Requests queued for the next flush.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// How many **full** shards the queue currently fills at the
+    /// session's configured shard width — a scheduling hint: flushing
+    /// on a full shard maximizes lane utilization, flushing earlier
+    /// trades throughput for latency.
+    pub fn full_shards(&self) -> usize {
+        self.pending.len() / self.session.config.shard_lanes()
+    }
+
+    /// Drains the queue through the session and returns one result
+    /// per request, in submission order (`results[id]` belongs to the
+    /// submit that returned `id`). An empty queue is
+    /// [`MmmError::EmptyBatch`]. On error the queue is left intact,
+    /// so no request is silently dropped.
+    pub fn flush(&mut self) -> Result<Vec<Ubig>, MmmError> {
+        if self.pending.is_empty() {
+            return Err(MmmError::EmptyBatch);
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let result = match self.op {
+            BatchOp::Sign => self.session.sign(&pending),
+            BatchOp::Decrypt => self.session.decrypt(&pending),
+            BatchOp::DecryptCrt => self.session.decrypt_crt(&pending),
+        };
+        if result.is_err() {
+            self.pending = pending;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{decrypt_crt_batch_with, sign_batch_with, verify_batch_with};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(bits: usize, seed: u64) -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaKeyPair::generate(&mut rng, bits, 12)
+    }
+
+    fn session_for(kind: EngineKind, key: &RsaKeyPair) -> KeyedSession {
+        KeyedSession::new(key.clone(), EngineConfig::default().with_backend(kind))
+            .expect("pooled params are hardware-safe for every backend")
+    }
+
+    #[test]
+    fn session_matches_legacy_entry_points_on_both_backends() {
+        let key = keypair(48, 90);
+        let mut rng = StdRng::seed_from_u64(91);
+        let ms: Vec<Ubig> = (0..9)
+            .map(|_| Ubig::random_below(&mut rng, &key.n))
+            .collect();
+        let cs: Vec<Ubig> = ms.iter().map(|m| m.modpow(&key.e, &key.n)).collect();
+        for kind in EngineKind::ALL {
+            let session = session_for(kind, &key);
+            let sigs = session.sign(&ms).unwrap();
+            assert_eq!(sigs, sign_batch_with(&key, &ms, kind), "{}", kind.name());
+            assert_eq!(
+                session.verify(&ms, &sigs).unwrap(),
+                verify_batch_with(&key, &ms, &sigs, kind),
+                "{}",
+                kind.name()
+            );
+            assert_eq!(
+                session.decrypt_crt(&cs).unwrap(),
+                decrypt_crt_batch_with(&key, &cs, kind),
+                "{}",
+                kind.name()
+            );
+            assert_eq!(session.decrypt(&cs).unwrap(), ms, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn session_rejects_bad_input_as_values() {
+        let key = keypair(32, 92);
+        let session = session_for(EngineKind::Cios, &key);
+        let n = key.n.clone();
+        // The lane index survives sharding: put the bad value last.
+        let mut ms = vec![Ubig::from(1u64), Ubig::from(2u64)];
+        ms.push(n.clone());
+        assert_eq!(
+            session.sign(&ms).unwrap_err(),
+            MmmError::OperandOutOfRange {
+                lane: 2,
+                bound: OperandBound::N
+            }
+        );
+        assert_eq!(
+            session.verify(&ms[..2], &ms[..1]).unwrap_err(),
+            MmmError::LengthMismatch { left: 2, right: 1 }
+        );
+        assert!(matches!(
+            session.decrypt_crt(std::slice::from_ref(&n)).unwrap_err(),
+            MmmError::OperandOutOfRange { lane: 0, .. }
+        ));
+        // Empty input on the slice API is a no-op, not an error.
+        assert_eq!(session.sign(&[]).unwrap(), Vec::<Ubig>::new());
+    }
+
+    #[test]
+    fn collector_orders_results_and_survives_rejections() {
+        let key = keypair(32, 93);
+        let session = session_for(EngineKind::Cios, &key);
+        let mut rng = StdRng::seed_from_u64(94);
+        let ms: Vec<Ubig> = (0..5)
+            .map(|_| Ubig::random_below(&mut rng, &key.n))
+            .collect();
+        let mut collector = session.collector(BatchOp::Sign);
+        assert_eq!(collector.op(), BatchOp::Sign);
+        for (want_id, m) in ms.iter().enumerate() {
+            assert_eq!(collector.submit(m.clone()).unwrap(), want_id);
+            // A rejected request never disturbs the queue or the ids.
+            let err = collector.submit(key.n.clone()).unwrap_err();
+            assert_eq!(
+                err,
+                MmmError::OperandOutOfRange {
+                    lane: want_id + 1,
+                    bound: OperandBound::N
+                }
+            );
+        }
+        assert_eq!(collector.len(), ms.len());
+        let sigs = collector.flush().unwrap();
+        assert_eq!(sigs, sign_batch_with(&key, &ms, EngineKind::Cios));
+        assert!(collector.is_empty());
+        assert_eq!(collector.flush().unwrap_err(), MmmError::EmptyBatch);
+    }
+
+    #[test]
+    fn collector_full_shards_tracks_configured_width() {
+        let key = keypair(32, 95);
+        let config = EngineConfig::default().with_shard_lanes(2).unwrap();
+        let session = KeyedSession::new(key.clone(), config).unwrap();
+        let mut collector = session.collector(BatchOp::Decrypt);
+        assert_eq!(collector.full_shards(), 0);
+        for i in 0..5 {
+            collector.submit(Ubig::from(i as u64)).unwrap();
+        }
+        assert_eq!(collector.full_shards(), 2);
+    }
+}

@@ -1,24 +1,24 @@
-//! A many-client exponentiation queue on the batch engines (the
-//! radix-2⁶⁴ CIOS production backend by default; set
-//! `MMM_ENGINE=bitsliced` to rerun on the systolic simulation).
+//! A many-client serving loop on the typed serving API: one
+//! [`KeyedSession`] per RSA key, independent clients submitting
+//! singleton requests into a [`BatchCollector`], full 64-lane shards
+//! flushed through the batch engines.
 //!
-//! Simulates the serving shape the batch engines exist for: one RSA
-//! key, a queue of clients each wanting a signature (a full modular
-//! exponentiation), drained 64 lanes at a time with shards fanned out
-//! across cores. Run with:
+//! The engine configuration comes from one validated
+//! `EngineConfig::from_env()` call — set `MMM_ENGINE=bitsliced` to
+//! rerun the whole loop on the systolic simulation. Run with:
 //!
 //! ```text
 //! cargo run --release --example batch_server [clients]
 //! ```
 
 use montgomery_systolic::bigint::Ubig;
-use montgomery_systolic::core::{pool, ModExp, PackedMmmc};
-use montgomery_systolic::rsa::{decrypt_crt_batch, sign_batch, verify_batch, RsaKeyPair};
+use montgomery_systolic::core::{pool, EngineConfig, MmmError};
+use montgomery_systolic::rsa::{BatchOp, KeyedSession, RsaKeyPair};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), MmmError> {
     let clients: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -27,73 +27,80 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0x5E4E4);
     println!("generating a 256-bit RSA key (demo size)...");
     let key = RsaKeyPair::generate(&mut rng, 256, 16);
-    // Parameters come from the per-key pool: the R mod N / R² mod N
-    // divisions run once here, and every batch call below reuses both
-    // the parameters and the warm engines parked by earlier calls.
-    let params = pool::global().params_for(&key.n);
+
+    // One validated configuration instead of scattered env-var reads:
+    // MMM_ENGINE / MMM_POOL_KEYS land here, and a typo is an error
+    // value — not a panic inside a OnceLock initializer.
+    let config = EngineConfig::from_env()?;
     println!(
-        "key ready: |N| = {} bits, datapath width l = {}",
-        key.n.bit_len(),
-        params.l()
+        "engine config: backend={}, shard width={} lanes",
+        config.backend().name(),
+        config.shard_lanes()
     );
 
-    // The queue: every client submits a message to be signed.
+    // The session owns the key and its pooled parameters for N, p and
+    // q; construction pre-warms one engine per modulus.
+    let session = KeyedSession::new(key, config)?;
+    let key = session.key();
+    println!("session ready: |N| = {} bits", key.n.bit_len());
+
+    // --- Signing: the whole queue at once through the session. ---
     let queue: Vec<Ubig> = (0..clients)
         .map(|_| Ubig::random_below(&mut rng, &key.n))
         .collect();
-
-    // Drain the whole queue through the batch engine.
     let start = Instant::now();
-    let signatures = sign_batch(&key, &queue);
+    let signatures = session.sign(&queue)?;
     let batch_time = start.elapsed();
     println!(
         "signed {clients} requests in {:.2?} ({:.1} sig/s) via 64-lane batches",
         batch_time,
         clients as f64 / batch_time.as_secs_f64()
     );
-
-    // Verify everything (public exponent 65537 — cheap).
-    let start = Instant::now();
-    let verdicts = verify_batch(&key, &queue, &signatures);
+    let verdicts = session.verify(&queue, &signatures)?;
     assert!(verdicts.into_iter().all(|ok| ok), "all signatures verify");
-    println!("verified all {clients} in {:.2?}", start.elapsed());
 
-    // The decryption side of the serving path: encrypt every message,
-    // then CRT-decrypt the whole queue — two half-width windowed batch
-    // runs (mod p and mod q) recombined with Garner per lane, ~4×
-    // cheaper than the full-width scan.
+    // --- Decryption: independent clients, one request at a time. ---
+    // Each client holds one ciphertext; nobody assembles a Vec for
+    // us. The collector aggregates singletons into full shards.
     let ciphertexts: Vec<Ubig> = queue.iter().map(|m| m.modpow(&key.e, &key.n)).collect();
+    let mut collector = session.collector(BatchOp::DecryptCrt);
+    let mut decrypted: Vec<Ubig> = Vec::with_capacity(clients);
     let start = Instant::now();
-    let decrypted = decrypt_crt_batch(&key, &ciphertexts);
+    for c in ciphertexts {
+        collector.submit(c)?;
+        // Flush whenever a full shard is ready — maximal lane
+        // utilization; a latency-sensitive server would also flush on
+        // a deadline.
+        if collector.full_shards() > 0 {
+            decrypted.extend(collector.flush()?);
+        }
+    }
+    if !collector.is_empty() {
+        decrypted.extend(collector.flush()?); // drain the partial tail
+    }
     let crt_time = start.elapsed();
-    assert_eq!(decrypted, queue, "CRT decryption roundtrips");
+    assert_eq!(decrypted, queue, "CRT decryption roundtrips in order");
     println!(
-        "CRT-decrypted {clients} ciphertexts in {:.2?} ({:.1} dec/s) via half-width windowed batches",
+        "CRT-decrypted {clients} singleton submissions in {:.2?} ({:.1} dec/s) via aggregated shards",
         crt_time,
         clients as f64 / crt_time.as_secs_f64()
     );
+
+    // --- Bad input is a bounced request, not a dead server. ---
+    let mut collector = session.collector(BatchOp::DecryptCrt);
+    match collector.submit(key.n.clone()) {
+        Err(MmmError::OperandOutOfRange { lane, .. }) => {
+            println!(
+                "rejected an unreduced ciphertext (would-be request {lane}) — serving continues"
+            )
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+
     let stats = pool::global().stats();
     println!(
         "engine pool: {} built, {} reused across shards",
         stats.engine_builds, stats.engine_reuses
     );
-
-    // Reference point: the same work, one client at a time on the
-    // packed wave model (only a slice of the queue, extrapolated).
-    let sample = queue.len().min(8);
-    if sample == 0 {
-        println!("queue empty — nothing to compare");
-        return;
-    }
-    let start = Instant::now();
-    for m in &queue[..sample] {
-        let mut me = ModExp::new(PackedMmmc::new(params.clone()));
-        let _ = me.modexp(m, &key.d);
-    }
-    let seq = start.elapsed() / sample as u32 * clients as u32;
-    println!(
-        "sequential packed-model estimate for the same queue: {:.2?} ({:.2}x the batch time)",
-        seq,
-        seq.as_secs_f64() / batch_time.as_secs_f64()
-    );
+    Ok(())
 }

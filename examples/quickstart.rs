@@ -8,15 +8,17 @@
 
 use montgomery_systolic::core::mmmc::GateEngine;
 use montgomery_systolic::core::montgomery::{mont_spec, MontgomeryParams};
-use montgomery_systolic::core::Mmmc;
+use montgomery_systolic::core::{MmmError, Mmmc};
 use montgomery_systolic::hdl::{AreaReport, CarryStyle};
 use montgomery_systolic::Ubig;
 
-fn main() {
-    // An odd modulus; `hardware_safe` picks the minimal datapath width
-    // at which the systolic array provably never drops a carry.
+fn main() -> Result<(), MmmError> {
+    // An odd modulus; `try_hardware_safe` picks the minimal datapath
+    // width at which the systolic array provably never drops a carry
+    // — and rejects an invalid modulus (even, too small) as a typed
+    // error instead of a panic.
     let n = Ubig::from(40487u64);
-    let params = MontgomeryParams::hardware_safe(&n);
+    let params = MontgomeryParams::try_hardware_safe(&n)?;
     let l = params.l();
     println!("modulus N = {n} -> datapath width l = {l}, R = 2^{}", l + 2);
 
@@ -46,4 +48,5 @@ fn main() {
     );
     assert!(result < params.two_n(), "output bound: T < 2N");
     println!("verified: result ≡ x·y·R⁻¹ (mod N) and result < 2N ✓");
+    Ok(())
 }

@@ -22,7 +22,10 @@
 //!   `R = 2^{l+3}` multiplier, naive interleaved modular
 //!   multiplication, high-radix iteration models),
 //! * [`rsa`] and [`ecc`] — the two public-key applications the paper
-//!   targets, including batched many-client sign/verify.
+//!   targets, including batched many-client sign/verify and the typed
+//!   serving API (`rsa::server`: fallible `KeyedSession` +
+//!   `BatchCollector` request aggregation, configured through
+//!   `core::config::EngineConfig`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results. Start with `examples/quickstart.rs`.
