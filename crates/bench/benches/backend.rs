@@ -1,12 +1,15 @@
 //! Criterion bench: backend comparison. One 64-lane batch on the
-//! bit-sliced systolic simulation vs the radix-2⁶⁴ CIOS scan at the
-//! paper's large widths — the measurement behind the backend-dispatch
-//! default (`Throughput::Elements(64)` reports both in elem/s).
+//! bit-sliced systolic simulation vs the radix-2⁶⁴ CIOS scan vs the
+//! radix-2⁵² carry-save scan (one benchmark id per kernel this host
+//! supports) at the paper's large widths — the measurement behind the
+//! backend-dispatch default (`Throughput::Elements(64)` reports all in
+//! elem/s).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmm_bigint::Ubig;
 use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
 use mmm_core::cios::CiosBatch;
+use mmm_core::cios52::{Cios52Batch, Cios52Kernel};
 use mmm_core::modgen::{random_operand, random_safe_params};
 use mmm_core::traits::BatchMontMul;
 use rand::rngs::StdRng;
@@ -44,6 +47,20 @@ fn bench_backend(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cios_radix64_batch_64", l), &l, |b, _| {
             b.iter(|| black_box(cios.mont_mul_batch(black_box(&xs), black_box(&ys))))
         });
+        for &kernel in Cios52Kernel::available() {
+            let mut c52 = Cios52Batch::with_kernel(params.clone(), kernel);
+            assert_eq!(
+                bits.mont_mul_batch(&xs, &ys),
+                c52.mont_mul_batch(&xs, &ys),
+                "cios52/{} must be bit-identical before timing (l={l})",
+                kernel.name()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("cios52_{}_batch_64", kernel.name()), l),
+                &l,
+                |b, _| b.iter(|| black_box(c52.mont_mul_batch(black_box(&xs), black_box(&ys)))),
+            );
+        }
     }
     group.finish();
 }

@@ -40,6 +40,7 @@
 use mmm_bench::hosttime::time_ns_per_call;
 use mmm_bigint::Ubig;
 use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
+use mmm_core::cios52::Cios52Kernel;
 use mmm_core::expo_window::best_fixed_window;
 use mmm_core::montgomery::MontgomeryParams;
 use mmm_core::{BatchModExp, EngineKind};
@@ -71,6 +72,15 @@ fn main() {
     println!(
         "CRT + windowed batch decryption vs PR 1 full-width multiply-always ({MAX_LANES} lanes; crt column on the {} backend)",
         EngineKind::default_kind().name()
+    );
+    println!(
+        "features: cios52 kernels = [{}], active = {}",
+        Cios52Kernel::available()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        Cios52Kernel::active().name()
     );
     println!(
         "{:>6} {:>3} {:>16} {:>16} {:>16} {:>10} {:>10} {:>10}",
@@ -121,10 +131,18 @@ fn main() {
                     kind.name()
                 );
             }
-            // Signatures must agree bit-for-bit across backends.
-            let sig_cios = sign_batch_with(&key, &ms, EngineKind::Cios);
-            let sig_bits = sign_batch_with(&key, &ms, EngineKind::BitSliced);
-            assert_eq!(sig_cios, sig_bits, "sign dispatch cross-backend");
+            // Signatures must agree bit-for-bit across *every*
+            // backend (swept, not a hardcoded pair, so the next
+            // EngineKind addition is gated automatically).
+            let sig_want = sign_batch_with(&key, &ms, EngineKind::ALL[0]);
+            for kind in &EngineKind::ALL[1..] {
+                assert_eq!(
+                    sign_batch_with(&key, &ms, *kind),
+                    sig_want,
+                    "sign dispatch cross-backend ({})",
+                    kind.name()
+                );
+            }
         }
 
         let mut engine_always = BatchModExp::new(BitSlicedBatch::new(params.clone()));
@@ -193,8 +211,9 @@ fn main() {
     // Hand-rolled JSON (no serde in the sanctioned dependency set).
     let mut json = String::from("{\n  \"bench\": \"crt_window_vs_full_multiply_always\",\n");
     json.push_str(&format!(
-        "  \"lanes\": {MAX_LANES},\n  \"crt_backend\": \"{}\",\n  \"rows\": [\n",
-        EngineKind::default_kind().name()
+        "  \"lanes\": {MAX_LANES},\n  \"crt_backend\": \"{}\",\n  \"cios52_kernel\": \"{}\",\n  \"rows\": [\n",
+        EngineKind::default_kind().name(),
+        Cios52Kernel::active().name()
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

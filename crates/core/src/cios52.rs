@@ -1,0 +1,1191 @@
+//! Radix-2⁵² carry-save CIOS Montgomery multiplication — the
+//! vector-unit-shaped production backend.
+//!
+//! ## Why 52-bit digits
+//!
+//! The paper's systolic array fixes radix `r = 2` because a one-bit
+//! digit is what its hardware cells can absorb per wave. On a modern
+//! CPU the analogous move is picking the radix that fits the vector
+//! unit: **52-bit digits stored one per 64-bit lane**. The 12 spare
+//! bits per lane are carry headroom, so the inner multiply-accumulate
+//! loop never ripples a carry — high halves of the 52×52→104-bit
+//! products are *deferred* into the neighbouring digit and the whole
+//! accumulator is renormalized **once per outer scan step**, not once
+//! per digit. This is exactly the shape of AVX-512-IFMA's
+//! `vpmadd52lo/hi` instructions, and the same dataflow maps onto AVX2
+//! `mul_epu32` pairs and onto plain u64 arithmetic (which LLVM
+//! auto-vectorizes), so one algorithm serves three kernels:
+//!
+//! * [`Cios52Kernel::Portable`] — branch-free u64/u128 carry-save MACs
+//!   over the struct-of-arrays lane layout; runs on any host.
+//! * [`Cios52Kernel::Avx2`] — 4 lanes per `__m256i`, each 52×52
+//!   product assembled from three `_mm256_mul_epu32` 32×32→64
+//!   multiplies via a 26-bit operand split.
+//! * [`Cios52Kernel::Ifma`] — 8 lanes per `__m512i`,
+//!   `_mm512_madd52lo_epu64` / `_mm512_madd52hi_epu64` doing the
+//!   52×52→104 MAC in one instruction each.
+//!
+//! CPU features are detected once per process
+//! ([`Cios52Kernel::available`], a `OnceLock`) and the strongest
+//! available kernel is selected ([`Cios52Kernel::active`]); every
+//! kernel computes the identical function, asserted lane-for-lane by
+//! the unit tests below and the cross-engine suites.
+//!
+//! ## Same contract, third radix
+//!
+//! Like the radix-2⁶⁴ scan ([`crate::cios`]), this engine implements
+//! the **same mathematical function** as Algorithm 2 — `T = (x·y +
+//! M·N)/2^{l+2}` with the unique `M < 2^{l+2}` — *not* a digit-domain
+//! variant with `R = 2^{52·s}`. The reduction by `2^{l+2}` factors
+//! into `⌊(l+2)/52⌋` full 52-bit steps plus one partial step for the
+//! remaining `(l+2) mod 52` bits, so the result is **bit-identical**
+//! to [`crate::cios::CiosBatch`], [`crate::batch::BitSlicedBatch`]
+//! and `Ubig::modpow`, including the non-canonical `< 2N`
+//! representative. Operands enter and leave in ordinary 64-bit limbs;
+//! the 64↔52-bit conversions ([`limbs_to_digits52`] /
+//! [`digits52_to_limbs`]) are internal to one batch call. The digit
+//! geometry (`s₅₂`, `n0' mod 2⁵²`) is derived once in
+//! [`MontgomeryParams::radix52`][crate::montgomery::MontgomeryParams::radix52],
+//! next to the word-domain view. DESIGN.md §9 derives the
+//! representation and the carry headroom budget.
+//!
+//! ## Constant-time status
+//!
+//! Identical to the radix-2⁶⁴ scan: fixed schedule, no final
+//! subtraction, no data-dependent branches; quotient digits feed
+//! multiplies, never indexing.
+
+use crate::error::{validate_mont_batch, MmmError};
+use crate::montgomery::MontgomeryParams;
+use crate::traits::BatchMontMul;
+use mmm_bigint::limbs::{Limb, LIMB_BITS};
+use mmm_bigint::transpose::{lanes_to_limbs_into, limbs_to_lanes_into};
+use mmm_bigint::Ubig;
+use std::sync::OnceLock;
+
+/// Lanes one [`Cios52Batch`] advances per call (matches
+/// [`crate::batch::MAX_LANES`] so sharding logic is engine-agnostic).
+pub const MAX_LANES: usize = crate::batch::MAX_LANES;
+
+/// Payload bits per digit: 52 of the 64 lane bits carry value, the
+/// top 12 are deferred-carry headroom.
+pub const DIGIT_BITS: usize = 52;
+
+/// Mask selecting one digit's payload bits.
+pub const DIGIT_MASK: u64 = (1 << DIGIT_BITS) - 1;
+
+/// Per-width geometry of the radix-2⁵² scan over `R = 2^{l+2}`: the
+/// digit-domain view from `MontgomeryParams::radix52` plus the word
+/// count of the 64-bit I/O representation.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    /// Digit count `s₅₂ = ⌈(l+2)/52⌉`.
+    s: usize,
+    /// Number of full 52-bit reduction steps `⌊(l+2)/52⌋`.
+    full: usize,
+    /// Remaining shift `(l+2) mod 52` handled by the partial step.
+    rem: u32,
+    /// `n0' = -N⁻¹ mod 2⁵²`.
+    n0_inv: u64,
+    /// Operand limb count of the 64-bit I/O form, `⌈(l+2)/64⌉`.
+    sw: usize,
+}
+
+impl Geometry {
+    fn of(params: &MontgomeryParams) -> Self {
+        let r = params.radix52();
+        Geometry {
+            s: r.digits(),
+            full: r.full(),
+            rem: r.rem(),
+            n0_inv: r.n0_inv(),
+            sw: (params.l() + 2).div_ceil(LIMB_BITS),
+        }
+    }
+}
+
+/// Splits a little-endian 64-bit limb vector into `digits` 52-bit
+/// digits (little-endian, one digit per returned u64, all `< 2⁵²`).
+/// Digit `d` holds bits `[52d, 52d + 52)` of the value; bits beyond
+/// the input are zero.
+pub fn limbs_to_digits52(limbs: &[u64], digits: usize) -> Vec<u64> {
+    let mut out = vec![0u64; digits];
+    for (d, o) in out.iter_mut().enumerate() {
+        let bit = d * DIGIT_BITS;
+        let w = bit / LIMB_BITS;
+        let b = (bit % LIMB_BITS) as u32;
+        if w >= limbs.len() {
+            break;
+        }
+        let mut v = limbs[w] >> b;
+        if b as usize > LIMB_BITS - DIGIT_BITS && w + 1 < limbs.len() {
+            v |= limbs[w + 1] << (LIMB_BITS as u32 - b);
+        }
+        *o = v & DIGIT_MASK;
+    }
+    out
+}
+
+/// Inverse of [`limbs_to_digits52`]: packs normalized 52-bit digits
+/// back into `limbs` 64-bit limbs.
+///
+/// # Panics
+/// Panics if any digit has payload above bit 52 (the carry-save
+/// headroom must have been normalized away) or if the value does not
+/// fit `limbs` limbs.
+pub fn digits52_to_limbs(digits: &[u64], limbs: usize) -> Vec<u64> {
+    let mut out = vec![0u64; limbs];
+    for (d, &v) in digits.iter().enumerate() {
+        assert!(v <= DIGIT_MASK, "digit {d} not normalized: {v:#x}");
+        let bit = d * DIGIT_BITS;
+        let w = bit / LIMB_BITS;
+        let b = (bit % LIMB_BITS) as u32;
+        let spills = b as usize > LIMB_BITS - DIGIT_BITS;
+        if w < limbs {
+            out[w] |= v << b;
+            if spills && w + 1 < limbs {
+                out[w + 1] |= v >> (LIMB_BITS as u32 - b);
+            } else if spills {
+                assert_eq!(
+                    v >> (LIMB_BITS as u32 - b),
+                    0,
+                    "value exceeds {limbs} limbs"
+                );
+            }
+        } else {
+            assert_eq!(v, 0, "value exceeds {limbs} limbs");
+        }
+    }
+    out
+}
+
+/// Word-SoA → digit-SoA: for each digit row, gather bits
+/// `[52d, 52d + 52)` from the (at most two) straddled word rows, all
+/// `MAX_LANES` lanes at once.
+fn soa_words_to_digits52(words: &[Limb], sw: usize, digits: &mut [Limb], s: usize) {
+    for d in 0..s {
+        let bit = d * DIGIT_BITS;
+        let w = bit / LIMB_BITS;
+        let b = (bit % LIMB_BITS) as u32;
+        let wrow = row(words, w);
+        let drow = row_mut(digits, d);
+        if b as usize > LIMB_BITS - DIGIT_BITS && w + 1 < sw {
+            let nrow = row(words, w + 1);
+            let up = LIMB_BITS as u32 - b;
+            for k in 0..MAX_LANES {
+                drow[k] = ((wrow[k] >> b) | (nrow[k] << up)) & DIGIT_MASK;
+            }
+        } else {
+            for k in 0..MAX_LANES {
+                drow[k] = (wrow[k] >> b) & DIGIT_MASK;
+            }
+        }
+    }
+}
+
+/// Digit-SoA → word-SoA: scatter each normalized digit row into the
+/// word rows it straddles. Requires every digit `< 2⁵²` (the kernels
+/// end with a normalization pass, so this holds on the output path).
+fn soa_digits52_to_words(digits: &[Limb], s: usize, words: &mut [Limb], sw: usize) {
+    words[..sw * MAX_LANES].fill(0);
+    for d in 0..s {
+        let bit = d * DIGIT_BITS;
+        let w = bit / LIMB_BITS;
+        let b = (bit % LIMB_BITS) as u32;
+        let drow = *row(digits, d);
+        {
+            let wrow = row_mut(words, w);
+            for k in 0..MAX_LANES {
+                debug_assert!(drow[k] <= DIGIT_MASK, "unnormalized digit on output");
+                wrow[k] |= drow[k] << b;
+            }
+        }
+        if b as usize > LIMB_BITS - DIGIT_BITS && w + 1 < sw {
+            let down = LIMB_BITS as u32 - b;
+            let nrow = row_mut(words, w + 1);
+            for k in 0..MAX_LANES {
+                nrow[k] |= drow[k] >> down;
+            }
+        }
+    }
+}
+
+/// Which concrete inner-loop implementation a [`Cios52Batch`] runs.
+/// All kernels compute the identical function; selection is purely a
+/// throughput decision made once per process from CPU features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cios52Kernel {
+    /// Branch-free u64/u128 carry-save MACs; runs on any host and is
+    /// written so LLVM auto-vectorizes the lane loops.
+    Portable,
+    /// x86-64 AVX2: 4 lanes per `__m256i`, 52×52 products from three
+    /// `mul_epu32` via a 26-bit split.
+    Avx2,
+    /// x86-64 AVX-512-IFMA: 8 lanes per `__m512i`, `vpmadd52lo/hi`.
+    Ifma,
+}
+
+impl Cios52Kernel {
+    /// Short stable name, recorded in benchmark JSON so results say
+    /// which kernel actually ran.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cios52Kernel::Portable => "portable",
+            Cios52Kernel::Avx2 => "avx2",
+            Cios52Kernel::Ifma => "ifma",
+        }
+    }
+
+    /// Every kernel this host can run, ordered weakest → strongest.
+    /// CPU feature detection happens **once** per process (cached in a
+    /// `OnceLock`); the portable kernel is always present, so the
+    /// slice is never empty.
+    pub fn available() -> &'static [Cios52Kernel] {
+        static AVAILABLE: OnceLock<Vec<Cios52Kernel>> = OnceLock::new();
+        AVAILABLE.get_or_init(|| {
+            let mut v = vec![Cios52Kernel::Portable];
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    v.push(Cios52Kernel::Avx2);
+                }
+                if std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512ifma")
+                {
+                    v.push(Cios52Kernel::Ifma);
+                }
+            }
+            v
+        })
+    }
+
+    /// The strongest kernel this host can run — what
+    /// [`Cios52Batch::new`] selects.
+    pub fn active() -> Cios52Kernel {
+        *Self::available()
+            .last()
+            .expect("portable kernel is always available")
+    }
+}
+
+/// The radix-2⁵² carry-save CIOS **batch** engine: up to 64
+/// independent Montgomery multiplications per call in
+/// struct-of-arrays lane layout, bit-identical to every other
+/// Algorithm-2 engine.
+#[derive(Debug, Clone)]
+pub struct Cios52Batch {
+    params: MontgomeryParams,
+    geo: Geometry,
+    kernel: Cios52Kernel,
+    /// Modulus as `s` normalized 52-bit digits (shared by all lanes).
+    n: Vec<Limb>,
+    /// Word-domain SoA staging buffer (`sw` rows), reused for input
+    /// transposes and the output conversion.
+    wscratch: Vec<Limb>,
+    /// Digit-domain SoA operands: `x[d·64 + k]` is digit `d`, lane `k`.
+    x: Vec<Limb>,
+    y: Vec<Limb>,
+    /// Digit-domain SoA accumulator, `s + 2` rows.
+    t: Vec<Limb>,
+}
+
+impl Cios52Batch {
+    /// Creates an engine for `params` running the strongest kernel
+    /// this host supports ([`Cios52Kernel::active`]). Like the other
+    /// software scans there is no hardware-safety requirement: any
+    /// valid parameters (e.g. `tight` widths) are accepted.
+    pub fn new(params: MontgomeryParams) -> Self {
+        Self::with_kernel(params, Cios52Kernel::active())
+    }
+
+    /// Creates an engine pinned to a specific kernel — how the tests
+    /// cross-check every available kernel against the oracle.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is not in [`Cios52Kernel::available`] on
+    /// this host.
+    pub fn with_kernel(params: MontgomeryParams, kernel: Cios52Kernel) -> Self {
+        assert!(
+            Cios52Kernel::available().contains(&kernel),
+            "kernel {} not available on this host",
+            kernel.name()
+        );
+        let geo = Geometry::of(&params);
+        let mut n_words = params.n().limbs().to_vec();
+        n_words.resize(geo.sw, 0);
+        Cios52Batch {
+            n: limbs_to_digits52(&n_words, geo.s),
+            wscratch: vec![0; geo.sw * MAX_LANES],
+            x: vec![0; geo.s * MAX_LANES],
+            y: vec![0; geo.s * MAX_LANES],
+            t: vec![0; (geo.s + 2) * MAX_LANES],
+            params,
+            geo,
+            kernel,
+        }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &MontgomeryParams {
+        &self.params
+    }
+
+    /// Which kernel this engine runs.
+    pub fn kernel(&self) -> Cios52Kernel {
+        self.kernel
+    }
+
+    /// Runs one batch of up to 64 multiplications, writing the
+    /// per-lane results into `out` (recycling its limb buffers — the
+    /// warm path performs zero heap allocations, like the other batch
+    /// engines').
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched lengths, more than
+    /// [`MAX_LANES`] lanes, or any operand `≥ 2N`;
+    /// [`Cios52Batch::try_mont_mul_batch_into`] is the fallible
+    /// variant.
+    pub fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
+        self.try_mont_mul_batch_into(xs, ys, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::mont_mul_batch_into`] returning every input rejection
+    /// as a typed [`MmmError`] instead of panicking.
+    pub fn try_mont_mul_batch_into(
+        &mut self,
+        xs: &[Ubig],
+        ys: &[Ubig],
+        out: &mut Vec<Ubig>,
+    ) -> Result<(), MmmError> {
+        validate_mont_batch(&self.params, MAX_LANES, xs, ys)?;
+        lanes_to_limbs_into(xs, self.geo.sw, MAX_LANES, &mut self.wscratch);
+        soa_words_to_digits52(&self.wscratch, self.geo.sw, &mut self.x, self.geo.s);
+        lanes_to_limbs_into(ys, self.geo.sw, MAX_LANES, &mut self.wscratch);
+        soa_words_to_digits52(&self.wscratch, self.geo.sw, &mut self.y, self.geo.s);
+        self.t.fill(0);
+        self.run_kernel();
+        soa_digits52_to_words(&self.t, self.geo.s, &mut self.wscratch, self.geo.sw);
+        limbs_to_lanes_into(
+            &self.wscratch[..self.geo.sw * MAX_LANES],
+            self.geo.sw,
+            MAX_LANES,
+            xs.len(),
+            out,
+        );
+        Ok(())
+    }
+
+    /// Dispatches to the selected kernel. The SIMD kernels are
+    /// `unsafe` only because of their `#[target_feature]` contract —
+    /// [`Cios52Batch::with_kernel`] already proved the features are
+    /// present on this host.
+    #[allow(unsafe_code)]
+    fn run_kernel(&mut self) {
+        match self.kernel {
+            Cios52Kernel::Portable => {
+                run_cios52_portable(self.geo, &self.n, &self.x, &self.y, &mut self.t)
+            }
+            #[cfg(target_arch = "x86_64")]
+            Cios52Kernel::Avx2 => unsafe {
+                run_cios52_avx2(self.geo, &self.n, &self.x, &self.y, &mut self.t)
+            },
+            #[cfg(target_arch = "x86_64")]
+            Cios52Kernel::Ifma => unsafe {
+                run_cios52_ifma(self.geo, &self.n, &self.x, &self.y, &mut self.t)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            Cios52Kernel::Avx2 | Cios52Kernel::Ifma => {
+                unreachable!("SIMD kernels are x86-64 only and gated by with_kernel")
+            }
+        }
+    }
+}
+
+impl BatchMontMul for Cios52Batch {
+    fn params(&self) -> &MontgomeryParams {
+        &self.params
+    }
+
+    fn max_lanes(&self) -> usize {
+        MAX_LANES
+    }
+
+    fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
+        let mut out = Vec::with_capacity(xs.len());
+        Cios52Batch::mont_mul_batch_into(self, xs, ys, &mut out);
+        out
+    }
+
+    fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
+        Cios52Batch::mont_mul_batch_into(self, xs, ys, out);
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kernel {
+            Cios52Kernel::Portable => "radix-2^52 carry-save CIOS batch (portable, 64 lanes)",
+            Cios52Kernel::Avx2 => "radix-2^52 carry-save CIOS batch (avx2, 64 lanes)",
+            Cios52Kernel::Ifma => "radix-2^52 carry-save CIOS batch (ifma, 64 lanes)",
+        }
+    }
+}
+
+/// A lane row of the SoA state: fixed-size so the per-lane loops have
+/// a compile-time trip count (64) for the vectorizer.
+type LaneRow = [Limb; MAX_LANES];
+
+/// Borrows digit row `j` of an SoA buffer as a fixed-size lane row.
+#[inline(always)]
+fn row(soa: &[Limb], j: usize) -> &LaneRow {
+    soa[j * MAX_LANES..(j + 1) * MAX_LANES]
+        .try_into()
+        .expect("row is exactly MAX_LANES wide")
+}
+
+/// Mutable variant of [`row`].
+#[inline(always)]
+fn row_mut(soa: &mut [Limb], j: usize) -> &mut LaneRow {
+    (&mut soa[j * MAX_LANES..(j + 1) * MAX_LANES])
+        .try_into()
+        .expect("row is exactly MAX_LANES wide")
+}
+
+/// The once-per-outer-step normalization: ripple each lane's deferred
+/// carries up through digit rows `0..=top`, leaving every digit
+/// `< 2⁵²`. This is the *only* carry chain in the whole scan.
+#[inline(always)]
+fn normalize52(t: &mut [Limb], top: usize) {
+    let mut c: LaneRow = [0; MAX_LANES];
+    for j in 0..=top {
+        let tj = row_mut(t, j);
+        for k in 0..MAX_LANES {
+            let v = tj[k] + c[k];
+            tj[k] = v & DIGIT_MASK;
+            c[k] = v >> DIGIT_BITS;
+        }
+    }
+    debug_assert_eq!(c, [0; MAX_LANES], "carry out of the top digit row");
+}
+
+/// The portable carry-save scan (see the module docs): `full` 52-bit
+/// steps plus the partial reduction, all 64 lanes in lockstep. Inner
+/// loops are branch-free 52×52→104 MACs with the high halves deferred
+/// one digit ([`normalize52`] runs once per outer step). A free
+/// function over slice parameters on purpose — parameter-level
+/// `&`/`&mut` carry `noalias` into LLVM so the lane loops vectorize.
+#[inline(never)]
+#[allow(clippy::needless_range_loop)] // j indexes n and the SoA accumulator rows together
+fn run_cios52_portable(geo: Geometry, n: &[Limb], x: &[Limb], y: &[Limb], t: &mut [Limb]) {
+    let s = geo.s;
+    let mut hi: LaneRow = [0; MAX_LANES];
+    let mut m: LaneRow = [0; MAX_LANES];
+
+    for i in 0..geo.full {
+        let xi = *row(x, i);
+        // Pass A: t += x_i ⊙ y, low halves into t[j], high halves
+        // deferred into t[j+1]'s addend (no carry ripple).
+        hi.fill(0);
+        for j in 0..s {
+            let yj = row(y, j);
+            let tj = row_mut(t, j);
+            for k in 0..MAX_LANES {
+                let p = (xi[k] as u128) * (yj[k] as u128);
+                tj[k] += ((p as u64) & DIGIT_MASK) + hi[k];
+                hi[k] = (p >> DIGIT_BITS) as u64;
+            }
+        }
+        {
+            let ts = row_mut(t, s);
+            for k in 0..MAX_LANES {
+                ts[k] += hi[k];
+            }
+        }
+
+        // m = t_0 · n0' mod 2⁵². Digit weights are multiples of 2⁵²,
+        // so t[0] mod 2⁵² is the whole value mod 2⁵² even while t[0]
+        // still carries unnormalized headroom bits.
+        for k in 0..MAX_LANES {
+            m[k] = t[k].wrapping_mul(geo.n0_inv) & DIGIT_MASK;
+        }
+
+        // Pass B: t = (t + m ⊙ N) / 2⁵², fused with the digit shift.
+        // Digit 0 of t + m·N is divisible by 2⁵², so its headroom
+        // bits are an exact carry into digit 1.
+        {
+            let t0 = row(t, 0);
+            for k in 0..MAX_LANES {
+                let p = (m[k] as u128) * (n[0] as u128);
+                let v = t0[k] + ((p as u64) & DIGIT_MASK);
+                debug_assert_eq!(v & DIGIT_MASK, 0, "low digit must cancel");
+                hi[k] = (v >> DIGIT_BITS) + ((p >> DIGIT_BITS) as u64);
+            }
+        }
+        for j in 1..s {
+            // Row j-1 is written while row j is read: split the borrow
+            // at the row boundary so both are live at once.
+            let (left, right) = t.split_at_mut(j * MAX_LANES);
+            let out_row: &mut LaneRow = (&mut left[(j - 1) * MAX_LANES..])
+                .try_into()
+                .expect("row is exactly MAX_LANES wide");
+            let tj: &LaneRow = right[..MAX_LANES]
+                .try_into()
+                .expect("row is exactly MAX_LANES wide");
+            let nj = n[j];
+            for k in 0..MAX_LANES {
+                let p = (m[k] as u128) * (nj as u128);
+                out_row[k] = tj[k] + ((p as u64) & DIGIT_MASK) + hi[k];
+                hi[k] = (p >> DIGIT_BITS) as u64;
+            }
+        }
+        {
+            let (left, right) = t.split_at_mut(s * MAX_LANES);
+            let out_row: &mut LaneRow = (&mut left[(s - 1) * MAX_LANES..])
+                .try_into()
+                .expect("row is exactly MAX_LANES wide");
+            let ts: &mut LaneRow = (&mut right[..MAX_LANES])
+                .try_into()
+                .expect("row is exactly MAX_LANES wide");
+            for k in 0..MAX_LANES {
+                out_row[k] = ts[k] + hi[k];
+                ts[k] = 0;
+            }
+        }
+
+        // The one normalization of this outer step. T < 4N < 2^{52s},
+        // so the value fits rows 0..s and row s ends zero.
+        normalize52(t, s);
+    }
+
+    if geo.rem > 0 {
+        // Partial step: absorb the top (rem-bit) digit of x, then
+        // reduce by the remaining 2^rem.
+        let xf = *row(x, geo.full);
+        hi.fill(0);
+        for j in 0..s {
+            let yj = row(y, j);
+            let tj = row_mut(t, j);
+            for k in 0..MAX_LANES {
+                let p = (xf[k] as u128) * (yj[k] as u128);
+                tj[k] += ((p as u64) & DIGIT_MASK) + hi[k];
+                hi[k] = (p >> DIGIT_BITS) as u64;
+            }
+        }
+        {
+            let ts = row_mut(t, s);
+            for k in 0..MAX_LANES {
+                ts[k] += hi[k];
+            }
+        }
+
+        // m < 2^rem: n0' mod 2^rem is -N⁻¹ mod 2^rem, and t[0] mod
+        // 2^rem is exact for the same positional-weight reason.
+        let rem_mask = (1u64 << geo.rem) - 1;
+        for k in 0..MAX_LANES {
+            m[k] = t[k].wrapping_mul(geo.n0_inv) & rem_mask;
+        }
+
+        // Pass C: t += m ⊙ N, unshifted (the shift is by rem < 52
+        // bits, not a whole digit).
+        hi.fill(0);
+        for j in 0..s {
+            let nj = n[j];
+            let tj = row_mut(t, j);
+            for k in 0..MAX_LANES {
+                let p = (m[k] as u128) * (nj as u128);
+                tj[k] += ((p as u64) & DIGIT_MASK) + hi[k];
+                hi[k] = (p >> DIGIT_BITS) as u64;
+            }
+        }
+        {
+            let ts = row_mut(t, s);
+            for k in 0..MAX_LANES {
+                ts[k] += hi[k];
+            }
+        }
+
+        // Normalize fully *before* the bit shift — the shift reads
+        // exact digit bit patterns, so no headroom may remain.
+        normalize52(t, s + 1);
+        debug_assert!(
+            (0..MAX_LANES).all(|k| t[k] & rem_mask == 0),
+            "low rem bits must cancel"
+        );
+
+        // Lane-wise right shift by rem bits across the digit rows.
+        let up = DIGIT_BITS as u32 - geo.rem;
+        for j in 0..=s {
+            let upper = *row(t, j + 1);
+            let cur = row_mut(t, j);
+            for k in 0..MAX_LANES {
+                cur[k] = (cur[k] >> geo.rem) | ((upper[k] & rem_mask) << up);
+            }
+        }
+    }
+
+    debug_assert!(
+        t[s * MAX_LANES..].iter().all(|&v| v == 0),
+        "result exceeds s digits"
+    );
+}
+
+/// The AVX-512-IFMA kernel: 8 lanes per `__m512i`, so the 64-lane
+/// batch is 8 vector columns; each column runs the whole scan before
+/// the next starts (the working set of one column — `(s+2)·64` bytes
+/// of accumulator plus operands — stays cache-resident). The 52×52→104
+/// MAC is one `vpmadd52lo` + one `vpmadd52hi`; both read only the low
+/// 52 bits of their multiplicands, which the normalization discipline
+/// guarantees for `x`, `y`, `n` and `m`.
+///
+/// # Safety
+/// Requires `avx512f` and `avx512ifma` at runtime (checked by
+/// [`Cios52Kernel::available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512ifma")]
+#[allow(unsafe_code)]
+#[allow(clippy::needless_range_loop)] // j indexes n and the SoA accumulator rows together
+unsafe fn run_cios52_ifma(geo: Geometry, n: &[Limb], x: &[Limb], y: &[Limb], t: &mut [Limb]) {
+    use core::arch::x86_64::*;
+    const W: usize = 8;
+    let s = geo.s;
+    let mask52 = _mm512_set1_epi64(DIGIT_MASK as i64);
+    let n0inv = _mm512_set1_epi64(geo.n0_inv as i64);
+    let zero = _mm512_setzero_si512();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let tp = t.as_mut_ptr();
+
+    for c in 0..MAX_LANES / W {
+        let off = c * W;
+        for i in 0..geo.full {
+            let xi = _mm512_loadu_si512(xp.add(i * MAX_LANES + off) as *const _);
+            // Pass A: t += x_i ⊙ y, high halves deferred one digit.
+            let mut hi = zero;
+            for j in 0..s {
+                let yj = _mm512_loadu_si512(yp.add(j * MAX_LANES + off) as *const _);
+                let tj = _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _);
+                let acc = _mm512_madd52lo_epu64(_mm512_add_epi64(tj, hi), xi, yj);
+                _mm512_storeu_si512(tp.add(j * MAX_LANES + off) as *mut _, acc);
+                hi = _mm512_madd52hi_epu64(zero, xi, yj);
+            }
+            let ts = _mm512_loadu_si512(tp.add(s * MAX_LANES + off) as *const _);
+            _mm512_storeu_si512(
+                tp.add(s * MAX_LANES + off) as *mut _,
+                _mm512_add_epi64(ts, hi),
+            );
+
+            // m = lo52(t_0 · n0') — madd52lo reads exactly the low 52
+            // bits of t_0, which equal the value mod 2⁵².
+            let t0 = _mm512_loadu_si512(tp.add(off) as *const _);
+            let m = _mm512_madd52lo_epu64(zero, t0, n0inv);
+
+            // Pass B fused with the digit shift. Digit 0 of t + m·N
+            // is divisible by 2⁵²: its headroom is an exact carry.
+            let n0 = _mm512_set1_epi64(n[0] as i64);
+            let v0 = _mm512_madd52lo_epu64(t0, m, n0);
+            let mut carry = _mm512_add_epi64(
+                _mm512_srli_epi64(v0, DIGIT_BITS as u32),
+                _mm512_madd52hi_epu64(zero, m, n0),
+            );
+            for j in 1..s {
+                let nj = _mm512_set1_epi64(n[j] as i64);
+                let tj = _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _);
+                let out = _mm512_madd52lo_epu64(_mm512_add_epi64(tj, carry), m, nj);
+                _mm512_storeu_si512(tp.add((j - 1) * MAX_LANES + off) as *mut _, out);
+                carry = _mm512_madd52hi_epu64(zero, m, nj);
+            }
+            let ts = _mm512_loadu_si512(tp.add(s * MAX_LANES + off) as *const _);
+            _mm512_storeu_si512(
+                tp.add((s - 1) * MAX_LANES + off) as *mut _,
+                _mm512_add_epi64(ts, carry),
+            );
+            _mm512_storeu_si512(tp.add(s * MAX_LANES + off) as *mut _, zero);
+
+            // The one normalization of this outer step.
+            let mut cv = zero;
+            for j in 0..=s {
+                let v = _mm512_add_epi64(
+                    _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _),
+                    cv,
+                );
+                _mm512_storeu_si512(
+                    tp.add(j * MAX_LANES + off) as *mut _,
+                    _mm512_and_si512(v, mask52),
+                );
+                cv = _mm512_srli_epi64(v, DIGIT_BITS as u32);
+            }
+        }
+
+        if geo.rem > 0 {
+            // Partial step: top rem-bit digit of x, then reduce by
+            // the remaining 2^rem.
+            let xf = _mm512_loadu_si512(xp.add(geo.full * MAX_LANES + off) as *const _);
+            let mut hi = zero;
+            for j in 0..s {
+                let yj = _mm512_loadu_si512(yp.add(j * MAX_LANES + off) as *const _);
+                let tj = _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _);
+                let acc = _mm512_madd52lo_epu64(_mm512_add_epi64(tj, hi), xf, yj);
+                _mm512_storeu_si512(tp.add(j * MAX_LANES + off) as *mut _, acc);
+                hi = _mm512_madd52hi_epu64(zero, xf, yj);
+            }
+            let ts = _mm512_loadu_si512(tp.add(s * MAX_LANES + off) as *const _);
+            _mm512_storeu_si512(
+                tp.add(s * MAX_LANES + off) as *mut _,
+                _mm512_add_epi64(ts, hi),
+            );
+
+            let rem_mask = _mm512_set1_epi64(((1u64 << geo.rem) - 1) as i64);
+            let t0 = _mm512_loadu_si512(tp.add(off) as *const _);
+            let m = _mm512_and_si512(_mm512_madd52lo_epu64(zero, t0, n0inv), rem_mask);
+
+            // Pass C: t += m ⊙ N, unshifted.
+            let mut carry = zero;
+            for j in 0..s {
+                let nj = _mm512_set1_epi64(n[j] as i64);
+                let tj = _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _);
+                let out = _mm512_madd52lo_epu64(_mm512_add_epi64(tj, carry), m, nj);
+                _mm512_storeu_si512(tp.add(j * MAX_LANES + off) as *mut _, out);
+                carry = _mm512_madd52hi_epu64(zero, m, nj);
+            }
+            let ts = _mm512_loadu_si512(tp.add(s * MAX_LANES + off) as *const _);
+            _mm512_storeu_si512(
+                tp.add(s * MAX_LANES + off) as *mut _,
+                _mm512_add_epi64(ts, carry),
+            );
+
+            // Normalize rows 0..=s+1, then shift right by rem bits.
+            let mut cv = zero;
+            for j in 0..=s + 1 {
+                let v = _mm512_add_epi64(
+                    _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _),
+                    cv,
+                );
+                _mm512_storeu_si512(
+                    tp.add(j * MAX_LANES + off) as *mut _,
+                    _mm512_and_si512(v, mask52),
+                );
+                cv = _mm512_srli_epi64(v, DIGIT_BITS as u32);
+            }
+            let shr = _mm_cvtsi32_si128(geo.rem as i32);
+            let shl = _mm_cvtsi32_si128((DIGIT_BITS as u32 - geo.rem) as i32);
+            for j in 0..=s {
+                let cur = _mm512_loadu_si512(tp.add(j * MAX_LANES + off) as *const _);
+                let upper = _mm512_loadu_si512(tp.add((j + 1) * MAX_LANES + off) as *const _);
+                let v = _mm512_or_si512(
+                    _mm512_srl_epi64(cur, shr),
+                    _mm512_sll_epi64(_mm512_and_si512(upper, rem_mask), shl),
+                );
+                _mm512_storeu_si512(tp.add(j * MAX_LANES + off) as *mut _, v);
+            }
+        }
+    }
+}
+
+/// The AVX2 kernel: 4 lanes per `__m256i` (16 vector columns). AVX2
+/// has no 52- or even 64-bit multiplier, so each 52×52 product is
+/// assembled from three `_mm256_mul_epu32` 32×32→64 multiplies via a
+/// 26-bit operand split `a = a₀ + a₁·2²⁶`:
+///
+/// ```text
+/// a·b = a₀b₀ + (a₀b₁ + a₁b₀)·2²⁶ + a₁b₁·2⁵²
+///     = plo + phi·2⁵²    with  plo = a₀b₀ + (mid mod 2²⁶)·2²⁶ < 2⁵³
+///                              phi = a₁b₁ + ⌊mid/2²⁶⌋
+/// ```
+///
+/// `plo` is *redundant* (up to 53 bits) — which is fine, because the
+/// accumulator is carry-save anyway; the headroom budget in
+/// DESIGN.md §9 covers it.
+///
+/// # Safety
+/// Requires `avx2` at runtime (checked by [`Cios52Kernel::available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+#[allow(clippy::needless_range_loop)] // j indexes n and the SoA accumulator rows together
+unsafe fn run_cios52_avx2(geo: Geometry, n: &[Limb], x: &[Limb], y: &[Limb], t: &mut [Limb]) {
+    use core::arch::x86_64::*;
+    const W: usize = 4;
+    const HALF_BITS: u32 = 26;
+    let s = geo.s;
+    let mask52 = _mm256_set1_epi64x(DIGIT_MASK as i64);
+    let mask26 = _mm256_set1_epi64x(((1u64 << HALF_BITS) - 1) as i64);
+    let zero = _mm256_setzero_si256();
+    // n0' pre-split into 26-bit halves.
+    let n0inv_lo = _mm256_set1_epi64x((geo.n0_inv & ((1 << HALF_BITS) - 1)) as i64);
+    let n0inv_hi = _mm256_set1_epi64x((geo.n0_inv >> HALF_BITS) as i64);
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let tp = t.as_mut_ptr();
+
+    // (plo, phi) of the lane-wise 52×52 product of already-split
+    // operands; see the function docs for the identity.
+    macro_rules! mul52 {
+        ($a0:expr, $a1:expr, $b:expr) => {{
+            let b0 = _mm256_and_si256($b, mask26);
+            let b1 = _mm256_srli_epi64($b, HALF_BITS as i32);
+            let ll = _mm256_mul_epu32($a0, b0);
+            let mid = _mm256_add_epi64(_mm256_mul_epu32($a0, b1), _mm256_mul_epu32($a1, b0));
+            let hh = _mm256_mul_epu32($a1, b1);
+            let plo = _mm256_add_epi64(
+                ll,
+                _mm256_slli_epi64(_mm256_and_si256(mid, mask26), HALF_BITS as i32),
+            );
+            let phi = _mm256_add_epi64(hh, _mm256_srli_epi64(mid, HALF_BITS as i32));
+            (plo, phi)
+        }};
+    }
+
+    for c in 0..MAX_LANES / W {
+        let off = c * W;
+        for i in 0..geo.full {
+            let xi = _mm256_loadu_si256(xp.add(i * MAX_LANES + off) as *const _);
+            let xi0 = _mm256_and_si256(xi, mask26);
+            let xi1 = _mm256_srli_epi64(xi, HALF_BITS as i32);
+            // Pass A.
+            let mut hi = zero;
+            for j in 0..s {
+                let yj = _mm256_loadu_si256(yp.add(j * MAX_LANES + off) as *const _);
+                let (plo, phi) = mul52!(xi0, xi1, yj);
+                let tj = _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _);
+                let acc = _mm256_add_epi64(_mm256_add_epi64(tj, hi), plo);
+                _mm256_storeu_si256(tp.add(j * MAX_LANES + off) as *mut _, acc);
+                hi = phi;
+            }
+            let ts = _mm256_loadu_si256(tp.add(s * MAX_LANES + off) as *const _);
+            _mm256_storeu_si256(
+                tp.add(s * MAX_LANES + off) as *mut _,
+                _mm256_add_epi64(ts, hi),
+            );
+
+            // m = t_0 · n0' mod 2⁵², from 26-bit pieces. t_0 may hold
+            // up to 54 bits, so its high half still fits 32 bits and
+            // `mul_epu32` stays exact; the `slli` wraps mod 2⁶⁴ which
+            // preserves the low 52 bits we keep.
+            let t0 = _mm256_loadu_si256(tp.add(off) as *const _);
+            let t0l = _mm256_and_si256(t0, mask26);
+            let t0h = _mm256_srli_epi64(t0, HALF_BITS as i32);
+            let q = _mm256_add_epi64(
+                _mm256_mul_epu32(t0l, n0inv_lo),
+                _mm256_slli_epi64(
+                    _mm256_add_epi64(
+                        _mm256_mul_epu32(t0l, n0inv_hi),
+                        _mm256_mul_epu32(t0h, n0inv_lo),
+                    ),
+                    HALF_BITS as i32,
+                ),
+            );
+            let m = _mm256_and_si256(q, mask52);
+            let m0 = _mm256_and_si256(m, mask26);
+            let m1 = _mm256_srli_epi64(m, HALF_BITS as i32);
+
+            // Pass B fused with the digit shift.
+            let n0 = _mm256_set1_epi64x(n[0] as i64);
+            let (plo, phi) = mul52!(m0, m1, n0);
+            let v0 = _mm256_add_epi64(t0, plo);
+            let mut carry = _mm256_add_epi64(_mm256_srli_epi64(v0, DIGIT_BITS as i32), phi);
+            for j in 1..s {
+                let nj = _mm256_set1_epi64x(n[j] as i64);
+                let (plo, phi) = mul52!(m0, m1, nj);
+                let tj = _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _);
+                let out = _mm256_add_epi64(_mm256_add_epi64(tj, carry), plo);
+                _mm256_storeu_si256(tp.add((j - 1) * MAX_LANES + off) as *mut _, out);
+                carry = phi;
+            }
+            let ts = _mm256_loadu_si256(tp.add(s * MAX_LANES + off) as *const _);
+            _mm256_storeu_si256(
+                tp.add((s - 1) * MAX_LANES + off) as *mut _,
+                _mm256_add_epi64(ts, carry),
+            );
+            _mm256_storeu_si256(tp.add(s * MAX_LANES + off) as *mut _, zero);
+
+            // The one normalization of this outer step.
+            let mut cv = zero;
+            for j in 0..=s {
+                let v = _mm256_add_epi64(
+                    _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _),
+                    cv,
+                );
+                _mm256_storeu_si256(
+                    tp.add(j * MAX_LANES + off) as *mut _,
+                    _mm256_and_si256(v, mask52),
+                );
+                cv = _mm256_srli_epi64(v, DIGIT_BITS as i32);
+            }
+        }
+
+        if geo.rem > 0 {
+            let xf = _mm256_loadu_si256(xp.add(geo.full * MAX_LANES + off) as *const _);
+            let xf0 = _mm256_and_si256(xf, mask26);
+            let xf1 = _mm256_srli_epi64(xf, HALF_BITS as i32);
+            let mut hi = zero;
+            for j in 0..s {
+                let yj = _mm256_loadu_si256(yp.add(j * MAX_LANES + off) as *const _);
+                let (plo, phi) = mul52!(xf0, xf1, yj);
+                let tj = _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _);
+                let acc = _mm256_add_epi64(_mm256_add_epi64(tj, hi), plo);
+                _mm256_storeu_si256(tp.add(j * MAX_LANES + off) as *mut _, acc);
+                hi = phi;
+            }
+            let ts = _mm256_loadu_si256(tp.add(s * MAX_LANES + off) as *const _);
+            _mm256_storeu_si256(
+                tp.add(s * MAX_LANES + off) as *mut _,
+                _mm256_add_epi64(ts, hi),
+            );
+
+            let rem_mask = _mm256_set1_epi64x(((1u64 << geo.rem) - 1) as i64);
+            let t0 = _mm256_loadu_si256(tp.add(off) as *const _);
+            let t0l = _mm256_and_si256(t0, mask26);
+            let t0h = _mm256_srli_epi64(t0, HALF_BITS as i32);
+            let q = _mm256_add_epi64(
+                _mm256_mul_epu32(t0l, n0inv_lo),
+                _mm256_slli_epi64(
+                    _mm256_add_epi64(
+                        _mm256_mul_epu32(t0l, n0inv_hi),
+                        _mm256_mul_epu32(t0h, n0inv_lo),
+                    ),
+                    HALF_BITS as i32,
+                ),
+            );
+            let m = _mm256_and_si256(q, rem_mask);
+            let m0 = _mm256_and_si256(m, mask26);
+            let m1 = _mm256_srli_epi64(m, HALF_BITS as i32);
+
+            // Pass C, unshifted.
+            let mut carry = zero;
+            for j in 0..s {
+                let nj = _mm256_set1_epi64x(n[j] as i64);
+                let (plo, phi) = mul52!(m0, m1, nj);
+                let tj = _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _);
+                let out = _mm256_add_epi64(_mm256_add_epi64(tj, carry), plo);
+                _mm256_storeu_si256(tp.add(j * MAX_LANES + off) as *mut _, out);
+                carry = phi;
+            }
+            let ts = _mm256_loadu_si256(tp.add(s * MAX_LANES + off) as *const _);
+            _mm256_storeu_si256(
+                tp.add(s * MAX_LANES + off) as *mut _,
+                _mm256_add_epi64(ts, carry),
+            );
+
+            // Normalize rows 0..=s+1, then shift right by rem bits.
+            let mut cv = zero;
+            for j in 0..=s + 1 {
+                let v = _mm256_add_epi64(
+                    _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _),
+                    cv,
+                );
+                _mm256_storeu_si256(
+                    tp.add(j * MAX_LANES + off) as *mut _,
+                    _mm256_and_si256(v, mask52),
+                );
+                cv = _mm256_srli_epi64(v, DIGIT_BITS as i32);
+            }
+            let shr = _mm_cvtsi32_si128(geo.rem as i32);
+            let shl = _mm_cvtsi32_si128((DIGIT_BITS as u32 - geo.rem) as i32);
+            for j in 0..=s {
+                let cur = _mm256_loadu_si256(tp.add(j * MAX_LANES + off) as *const _);
+                let upper = _mm256_loadu_si256(tp.add((j + 1) * MAX_LANES + off) as *const _);
+                let v = _mm256_or_si256(
+                    _mm256_srl_epi64(cur, shr),
+                    _mm256_sll_epi64(_mm256_and_si256(upper, rem_mask), shl),
+                );
+                _mm256_storeu_si256(tp.add(j * MAX_LANES + off) as *mut _, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modgen::{random_operand, random_safe_params};
+    use crate::montgomery::mont_mul_alg2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn kernel_detection_is_cached_and_nonempty() {
+        let a = Cios52Kernel::available();
+        assert!(!a.is_empty());
+        assert_eq!(
+            a[0],
+            Cios52Kernel::Portable,
+            "portable is the universal floor"
+        );
+        // Cached: the same slice comes back.
+        assert_eq!(a.as_ptr(), Cios52Kernel::available().as_ptr());
+        assert!(a.contains(&Cios52Kernel::active()));
+    }
+
+    #[test]
+    fn conversion_round_trips_and_splits_bits() {
+        let mut rng = StdRng::seed_from_u64(701);
+        for limbs in 1usize..=6 {
+            let digits = (limbs * 64).div_ceil(DIGIT_BITS);
+            for _ in 0..50 {
+                let ws: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+                let ds = limbs_to_digits52(&ws, digits);
+                assert!(ds.iter().all(|&d| d <= DIGIT_MASK));
+                // Digit d holds bits [52d, 52d+52) — spot-check via
+                // the big-integer view.
+                let v = Ubig::from_limbs(ws.clone());
+                for (d, &dig) in ds.iter().enumerate() {
+                    let want = (&v >> (d * DIGIT_BITS))
+                        .low_bits(DIGIT_BITS)
+                        .to_u64()
+                        .expect("52 bits fit one limb");
+                    assert_eq!(dig, want, "digit {d} of {limbs} limbs");
+                }
+                assert_eq!(digits52_to_limbs(&ds, limbs), ws, "{limbs} limbs");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn digits_to_limbs_rejects_unnormalized_digit() {
+        let _ = digits52_to_limbs(&[DIGIT_MASK + 1], 1);
+    }
+
+    #[test]
+    fn every_available_kernel_matches_alg2_exhaustive_small() {
+        // N = 13, l = 4 (full = 0, rem = 6): every x, y < 2N, and the
+        // non-canonical < 2N representative must match exactly.
+        let p = MontgomeryParams::new(&Ubig::from(13u64), 4);
+        for &kernel in Cios52Kernel::available() {
+            let mut e = Cios52Batch::with_kernel(p.clone(), kernel);
+            for x in 0u64..26 {
+                let xs: Vec<Ubig> = (0..26u64).map(Ubig::from).collect();
+                let xx: Vec<Ubig> = (0..26).map(|_| Ubig::from(x)).collect();
+                let got = e.mont_mul_batch(&xx, &xs);
+                for y in 0u64..26 {
+                    let want = mont_mul_alg2(&p, &Ubig::from(x), &Ubig::from(y));
+                    assert_eq!(got[y as usize], want, "{} x={x} y={y}", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_available_kernel_matches_alg2_across_widths() {
+        // Widths straddling the 52-bit digit boundary (l = 50 ⇒ rem =
+        // 0, single digit), the 64-bit word boundary, and multi-digit
+        // sizes; full lanes.
+        let mut rng = StdRng::seed_from_u64(702);
+        for l in [
+            3usize, 30, 49, 50, 51, 62, 63, 64, 65, 100, 102, 103, 150, 256,
+        ] {
+            let p = random_safe_params(&mut rng, l);
+            let xs: Vec<Ubig> = (0..MAX_LANES)
+                .map(|_| random_operand(&mut rng, &p))
+                .collect();
+            let ys: Vec<Ubig> = (0..MAX_LANES)
+                .map(|_| random_operand(&mut rng, &p))
+                .collect();
+            let want: Vec<Ubig> = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, y)| mont_mul_alg2(&p, x, y))
+                .collect();
+            for &kernel in Cios52Kernel::available() {
+                let mut e = Cios52Batch::with_kernel(p.clone(), kernel);
+                let got = e.mont_mul_batch(&xs, &ys);
+                assert_eq!(got, want, "{} l={l}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_available_kernel_accepts_tight_widths() {
+        // No hardware-safety requirement; N ≳ ⅔·2^l widths included.
+        let mut rng = StdRng::seed_from_u64(703);
+        for bits in [64usize, 65, 128] {
+            let mut n = Ubig::pow2(bits) - Ubig::one();
+            if n.is_even() {
+                n = n - Ubig::one();
+            }
+            let p = MontgomeryParams::tight(&n);
+            assert!(!p.is_hardware_safe(), "bits={bits}");
+            let xs: Vec<Ubig> = (0..8).map(|_| random_operand(&mut rng, &p)).collect();
+            for &kernel in Cios52Kernel::available() {
+                let mut e = Cios52Batch::with_kernel(p.clone(), kernel);
+                let got = e.mont_mul_batch(&xs, &xs);
+                for k in 0..8 {
+                    assert_eq!(
+                        got[k],
+                        mont_mul_alg2(&p, &xs[k], &xs[k]),
+                        "{} bits={bits} lane {k}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_batches_and_engine_reuse() {
+        let mut rng = StdRng::seed_from_u64(704);
+        let p = random_safe_params(&mut rng, 48);
+        let mut batch = Cios52Batch::new(p.clone());
+        for lanes in [1usize, 3, 63, 64] {
+            let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let got = batch.mont_mul_batch(&xs, &ys);
+            assert_eq!(got.len(), lanes);
+            for k in 0..lanes {
+                assert_eq!(
+                    got[k],
+                    mont_mul_alg2(&p, &xs[k], &ys[k]),
+                    "lanes={lanes} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_feed_back_as_inputs() {
+        // The Algorithm-2 closure property on every available kernel.
+        let mut rng = StdRng::seed_from_u64(705);
+        let p = random_safe_params(&mut rng, 70);
+        let xs: Vec<Ubig> = (0..16).map(|_| random_operand(&mut rng, &p)).collect();
+        for &kernel in Cios52Kernel::available() {
+            let mut batch = Cios52Batch::with_kernel(p.clone(), kernel);
+            let mut a = batch.mont_mul_batch(&xs, &xs);
+            let mut want: Vec<Ubig> = xs.iter().map(|x| mont_mul_alg2(&p, x, x)).collect();
+            for round in 0..4 {
+                a = batch.mont_mul_batch(&a, &a);
+                want = want.iter().map(|v| mont_mul_alg2(&p, v, v)).collect();
+                assert_eq!(a, want, "{} round {round}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn rejects_oversized_batch() {
+        let mut rng = StdRng::seed_from_u64(706);
+        let p = random_safe_params(&mut rng, 8);
+        let xs: Vec<Ubig> = (0..65).map(|_| random_operand(&mut rng, &p)).collect();
+        let ys = xs.clone();
+        let _ = Cios52Batch::new(p).mont_mul_batch(&xs, &ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must be < 2N")]
+    fn rejects_out_of_range_operand() {
+        let mut rng = StdRng::seed_from_u64(707);
+        let p = random_safe_params(&mut rng, 8);
+        let bad = p.two_n();
+        let _ = Cios52Batch::new(p.clone())
+            .mont_mul_batch(std::slice::from_ref(&bad), std::slice::from_ref(&bad));
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(Cios52Kernel::Portable.name(), "portable");
+        assert_eq!(Cios52Kernel::Avx2.name(), "avx2");
+        assert_eq!(Cios52Kernel::Ifma.name(), "ifma");
+        let mut e = Cios52Batch::new(MontgomeryParams::new(&Ubig::from(13u64), 4));
+        assert!(BatchMontMul::name(&e).contains(e.kernel().name()));
+        assert!(BatchMontMul::name(&e).contains("radix-2^52"));
+        let _ = e.mont_mul_batch(&[Ubig::one()], &[Ubig::one()]);
+    }
+}

@@ -156,7 +156,7 @@ impl EngineConfig {
     }
 
     /// The default configuration with every recognized `MMM_*`
-    /// environment variable applied: `MMM_ENGINE` (`cios` /
+    /// environment variable applied: `MMM_ENGINE` (`cios` / `cios52` /
     /// `bitsliced`) selects the backend, `MMM_POOL_KEYS` (a positive
     /// integer) the pool capacity. This is the **only** place in the
     /// workspace that parses these variables; an unrecognized or
@@ -257,13 +257,14 @@ mod tests {
     #[test]
     fn from_env_without_overrides_is_default() {
         // The test environment leaves MMM_ENGINE / MMM_POOL_KEYS unset
-        // (or, in the CI bit-sliced job, MMM_ENGINE=bitsliced — which
-        // from_env must follow, like default_kind does).
+        // (or, in the CI engine-override jobs, MMM_ENGINE=bitsliced /
+        // cios52 — which from_env must follow, like default_kind does).
         let c = EngineConfig::from_env().expect("clean environment parses");
         match std::env::var("MMM_ENGINE").as_deref() {
             Ok("bitsliced") | Ok("bit-sliced") => {
                 assert_eq!(c.backend(), EngineKind::BitSliced)
             }
+            Ok("cios52") => assert_eq!(c.backend(), EngineKind::Cios52),
             _ => assert_eq!(c.backend(), EngineKind::Cios),
         }
         assert_eq!(c.window(), WindowPolicy::Auto);

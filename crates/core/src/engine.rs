@@ -10,19 +10,26 @@
 //! * [`EngineKind::Cios`] — the radix-2⁶⁴ word-serial scan
 //!   ([`crate::cios::CiosBatch`]), the production default (~2·(l/64)²
 //!   u64 MACs per multiplication);
+//! * [`EngineKind::Cios52`] — the radix-2⁵² carry-save scan
+//!   ([`crate::cios52::Cios52Batch`]) with explicit AVX2 /
+//!   AVX-512-IFMA kernels selected at runtime
+//!   ([`Cios52Kernel::available`]) and a portable auto-vectorizing
+//!   fallback;
 //! * [`EngineKind::BitSliced`] — the bit-serial systolic-array
 //!   simulation ([`crate::batch::BitSlicedBatch`]), retained as the
 //!   cycle-accurate fidelity oracle and for wave-model experiments
 //!   (~l² single-bit cell updates per multiplication).
 //!
 //! The process-wide default is [`EngineKind::default_kind`]: CIOS,
-//! overridable once per process with `MMM_ENGINE=bitsliced` (or
-//! `MMM_ENGINE=cios`) — useful for A/B runs of the full serving path
-//! without touching call sites. Call-site selection uses the `*_with`
-//! variants of the entry points or [`EnginePool::checkout_kind`][crate::pool::EnginePool::checkout_kind].
+//! overridable once per process with `MMM_ENGINE=bitsliced`,
+//! `MMM_ENGINE=cios52` (or `MMM_ENGINE=cios`) — useful for A/B runs of
+//! the full serving path without touching call sites. Call-site
+//! selection uses the `*_with` variants of the entry points or
+//! [`EnginePool::checkout_kind`][crate::pool::EnginePool::checkout_kind].
 
 use crate::batch::BitSlicedBatch;
 use crate::cios::CiosBatch;
+use crate::cios52::{Cios52Batch, Cios52Kernel};
 use crate::config::EngineConfig;
 use crate::error::MmmError;
 use crate::montgomery::MontgomeryParams;
@@ -37,6 +44,9 @@ pub enum EngineKind {
     /// Radix-2⁶⁴ CIOS word scan — the production serving backend.
     #[default]
     Cios,
+    /// Radix-2⁵² carry-save CIOS scan with explicit SIMD kernels
+    /// (portable / AVX2 / AVX-512-IFMA, chosen at runtime).
+    Cios52,
     /// Bit-sliced systolic-array simulation — the cycle-accurate
     /// fidelity oracle (requires hardware-safe parameters).
     BitSliced,
@@ -44,12 +54,29 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// Every backend, for cross-checking sweeps.
-    pub const ALL: [EngineKind; 2] = [EngineKind::Cios, EngineKind::BitSliced];
+    pub const ALL: [EngineKind; 3] = [EngineKind::Cios, EngineKind::Cios52, EngineKind::BitSliced];
+
+    /// Every backend this host can run. Each backend keeps a universal
+    /// software path (the radix-2⁵² engine falls back to its portable
+    /// kernel when AVX2/IFMA are absent), so today this equals
+    /// [`EngineKind::ALL`] on every host — but sweeps should iterate
+    /// it anyway so a future hardware-only backend filters itself out
+    /// here. The underlying CPU feature detection is performed once
+    /// per process and cached ([`Cios52Kernel::available`]); use that
+    /// to learn *which* radix-2⁵² kernel (portable/avx2/ifma) actually
+    /// runs.
+    pub fn available() -> &'static [EngineKind] {
+        // Force the one-time feature probe so the first benchmark
+        // iteration doesn't pay for it.
+        let _ = Cios52Kernel::available();
+        &Self::ALL
+    }
 
     /// Short stable name (also the accepted `MMM_ENGINE` values).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Cios => "cios",
+            EngineKind::Cios52 => "cios52",
             EngineKind::BitSliced => "bitsliced",
         }
     }
@@ -97,6 +124,7 @@ impl EngineKind {
     pub fn try_build(self, params: MontgomeryParams) -> Result<AnyBatchEngine, MmmError> {
         match self {
             EngineKind::Cios => Ok(AnyBatchEngine::Cios(CiosBatch::new(params))),
+            EngineKind::Cios52 => Ok(AnyBatchEngine::Cios52(Cios52Batch::new(params))),
             EngineKind::BitSliced => {
                 Ok(AnyBatchEngine::BitSliced(BitSlicedBatch::try_new(params)?))
             }
@@ -117,16 +145,17 @@ impl EngineKind {
 impl FromStr for EngineKind {
     type Err = MmmError;
 
-    /// Parses the stable backend names (`cios`, `bitsliced`, with
-    /// `bit-sliced` accepted as an alias) — the inverse of
+    /// Parses the stable backend names (`cios`, `cios52`, `bitsliced`,
+    /// with `bit-sliced` accepted as an alias) — the inverse of
     /// [`EngineKind::name`] and the parser behind the `MMM_ENGINE`
     /// environment override.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "cios" => Ok(EngineKind::Cios),
+            "cios52" => Ok(EngineKind::Cios52),
             "bitsliced" | "bit-sliced" => Ok(EngineKind::BitSliced),
             other => Err(MmmError::Config(format!(
-                "unrecognized engine backend {other:?} (use cios|bitsliced)"
+                "unrecognized engine backend {other:?} (use cios|cios52|bitsliced)"
             ))),
         }
     }
@@ -139,6 +168,8 @@ impl FromStr for EngineKind {
 pub enum AnyBatchEngine {
     /// Radix-2⁶⁴ CIOS backend.
     Cios(CiosBatch),
+    /// Radix-2⁵² carry-save SIMD backend.
+    Cios52(Cios52Batch),
     /// Bit-sliced systolic simulation backend.
     BitSliced(BitSlicedBatch),
 }
@@ -148,6 +179,7 @@ impl AnyBatchEngine {
     pub fn kind(&self) -> EngineKind {
         match self {
             AnyBatchEngine::Cios(_) => EngineKind::Cios,
+            AnyBatchEngine::Cios52(_) => EngineKind::Cios52,
             AnyBatchEngine::BitSliced(_) => EngineKind::BitSliced,
         }
     }
@@ -165,6 +197,7 @@ impl BatchMontMul for AnyBatchEngine {
     fn params(&self) -> &MontgomeryParams {
         match self {
             AnyBatchEngine::Cios(e) => e.params(),
+            AnyBatchEngine::Cios52(e) => e.params(),
             AnyBatchEngine::BitSliced(e) => BatchMontMul::params(e),
         }
     }
@@ -172,6 +205,7 @@ impl BatchMontMul for AnyBatchEngine {
     fn max_lanes(&self) -> usize {
         match self {
             AnyBatchEngine::Cios(e) => e.max_lanes(),
+            AnyBatchEngine::Cios52(e) => e.max_lanes(),
             AnyBatchEngine::BitSliced(e) => e.max_lanes(),
         }
     }
@@ -179,6 +213,7 @@ impl BatchMontMul for AnyBatchEngine {
     fn mont_mul_batch(&mut self, xs: &[Ubig], ys: &[Ubig]) -> Vec<Ubig> {
         match self {
             AnyBatchEngine::Cios(e) => e.mont_mul_batch(xs, ys),
+            AnyBatchEngine::Cios52(e) => e.mont_mul_batch(xs, ys),
             AnyBatchEngine::BitSliced(e) => e.mont_mul_batch(xs, ys),
         }
     }
@@ -186,14 +221,15 @@ impl BatchMontMul for AnyBatchEngine {
     fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
         match self {
             AnyBatchEngine::Cios(e) => BatchMontMul::mont_mul_batch_into(e, xs, ys, out),
+            AnyBatchEngine::Cios52(e) => BatchMontMul::mont_mul_batch_into(e, xs, ys, out),
             AnyBatchEngine::BitSliced(e) => BatchMontMul::mont_mul_batch_into(e, xs, ys, out),
         }
     }
 
     fn consumed_cycles(&self) -> Option<u64> {
         match self {
-            // The CIOS scan is a software backend, not cycle-accurate.
-            AnyBatchEngine::Cios(_) => None,
+            // The CIOS scans are software backends, not cycle-accurate.
+            AnyBatchEngine::Cios(_) | AnyBatchEngine::Cios52(_) => None,
             AnyBatchEngine::BitSliced(e) => e.consumed_cycles(),
         }
     }
@@ -201,6 +237,7 @@ impl BatchMontMul for AnyBatchEngine {
     fn name(&self) -> &'static str {
         match self {
             AnyBatchEngine::Cios(e) => e.name(),
+            AnyBatchEngine::Cios52(e) => BatchMontMul::name(e),
             AnyBatchEngine::BitSliced(e) => e.name(),
         }
     }
@@ -221,6 +258,7 @@ mod tests {
         // override it must follow the variable.
         let want = match std::env::var("MMM_ENGINE").as_deref() {
             Ok("bitsliced") | Ok("bit-sliced") => EngineKind::BitSliced,
+            Ok("cios52") => EngineKind::Cios52,
             _ => EngineKind::Cios,
         };
         assert_eq!(EngineKind::default_kind(), want);
@@ -240,22 +278,42 @@ mod tests {
     }
 
     #[test]
-    fn both_backends_agree_through_the_dispatch_type() {
+    fn all_backends_agree_through_the_dispatch_type() {
         let mut rng = StdRng::seed_from_u64(602);
         let p = random_safe_params(&mut rng, 40);
         let xs: Vec<Ubig> = (0..10).map(|_| random_operand(&mut rng, &p)).collect();
         let ys: Vec<Ubig> = (0..10).map(|_| random_operand(&mut rng, &p)).collect();
         let mut cios = EngineKind::Cios.build(p.clone());
-        let mut bits = EngineKind::BitSliced.build(p.clone());
-        assert_eq!(cios.mont_mul_batch(&xs, &ys), bits.mont_mul_batch(&xs, &ys));
+        let want = cios.mont_mul_batch(&xs, &ys);
         assert_eq!(cios.consumed_cycles(), None);
-        assert!(bits.consumed_cycles().is_some());
+        for kind in EngineKind::ALL {
+            let mut e = kind.build(p.clone());
+            assert_eq!(e.mont_mul_batch(&xs, &ys), want, "{}", kind.name());
+            assert_eq!(
+                e.consumed_cycles().is_some(),
+                kind == EngineKind::BitSliced,
+                "only the systolic simulation is cycle-accurate"
+            );
+        }
     }
 
     #[test]
     fn names_are_stable() {
         assert_eq!(EngineKind::Cios.name(), "cios");
+        assert_eq!(EngineKind::Cios52.name(), "cios52");
         assert_eq!(EngineKind::BitSliced.name(), "bitsliced");
+    }
+
+    #[test]
+    fn available_covers_every_backend_on_software_hosts() {
+        // Every current backend has a universal software path, so the
+        // host-availability sweep must equal ALL (and be stable —
+        // detection is cached process-wide).
+        assert_eq!(EngineKind::available(), &EngineKind::ALL);
+        assert_eq!(
+            EngineKind::available().as_ptr(),
+            EngineKind::available().as_ptr()
+        );
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!    [`MmmError`] instead of panicking, and the [`EngineConfig`]
 //!    builder that absorbs the `MMM_*` environment variables into one
 //!    validated value. See `DESIGN.md` §8.
+//! 8. **Radix-2⁵² carry-save SIMD backend** ([`cios52`]) — the same
+//!    Algorithm-2 contract over 52-bit digits with deferred carries,
+//!    with explicit AVX2 / AVX-512-IFMA kernels selected at runtime
+//!    and a portable auto-vectorizing fallback. See `DESIGN.md` §9.
 //!
 //! [`montgomery`] holds the word-independent reference algorithms
 //! (Algorithm 1 with final subtraction and Algorithm 2 without), and
@@ -48,13 +52,17 @@
 //! bit's write enable, so exactly the `l+2` real waves write T and the
 //! total latency stays the paper's `3l+4` cycles. See `DESIGN.md` §1.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the radix-2⁵² backend's explicit SIMD kernels
+// ([`cios52`]) carry narrowly scoped `#[allow(unsafe_code)]` for their
+// `#[target_feature]` intrinsics — everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array;
 pub mod batch;
 pub mod cells;
 pub mod cios;
+pub mod cios52;
 pub mod config;
 pub mod controller;
 pub mod cost;
@@ -73,6 +81,7 @@ pub mod wave_packed;
 
 pub use batch::BitSlicedBatch;
 pub use cios::{CiosBatch, CiosMont};
+pub use cios52::{Cios52Batch, Cios52Kernel};
 pub use config::{EngineConfig, WindowPolicy};
 pub use engine::{AnyBatchEngine, EngineKind};
 pub use error::{MmmError, OperandBound};

@@ -70,6 +70,61 @@ impl WordDomain {
     }
 }
 
+/// The radix-2⁵² (redundant digit) view of a modulus: the geometry a
+/// carry-save CIOS scan over 52-bit digits in 64-bit lanes needs
+/// ([`crate::cios52`]), derived next to the radix-2⁶⁴ [`WordDomain`]
+/// view so the two non-binary radices read side by side.
+///
+/// The digit width 52 is chosen to fit the vector unit, exactly as the
+/// paper chose `r = 2` to fit its systolic cells: a 52-bit digit in a
+/// 64-bit lane leaves **12 bits of headroom**, so the 52×52→104-bit
+/// multiply-accumulate carries of the inner loop can be *deferred*
+/// (carry-save) instead of rippled per digit — and 52×52 MACs are the
+/// native shape of the AVX-512-IFMA `vpmadd52lo/hi` instructions.
+///
+/// Like the word-domain view, the scan still computes the paper's
+/// exact Algorithm-2 function over `R = 2^{l+2}`: a reduction by
+/// `2^{l+2}` factors into [`Radix52Geometry::full`] full 52-bit steps
+/// plus one partial reduction by the remaining
+/// [`Radix52Geometry::rem`] bits, so results stay bit-identical to
+/// every other engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Radix52Geometry {
+    /// Operand/result digit count `s₅₂ = ⌈(l+2)/52⌉` — every
+    /// Algorithm-2 operand and result (`< 2N < 2^{l+1}`) fits.
+    digits: usize,
+    /// Number of full 52-bit reduction steps `⌊(l+2)/52⌋`.
+    full: usize,
+    /// Remaining shift `(l+2) mod 52` handled by the partial step.
+    rem: u32,
+    /// `n0' = -N⁻¹ mod 2⁵²` — the per-digit Montgomery quotient
+    /// constant (the radix-2⁵² analogue of the paper's `N' = 1` and
+    /// the word domain's `n0' mod 2⁶⁴`).
+    n0_inv: u64,
+}
+
+impl Radix52Geometry {
+    /// Operand/result digit count `s₅₂ = ⌈(l+2)/52⌉`.
+    pub fn digits(&self) -> usize {
+        self.digits
+    }
+
+    /// Number of full 52-bit reduction steps `⌊(l+2)/52⌋`.
+    pub fn full(&self) -> usize {
+        self.full
+    }
+
+    /// Remaining shift `(l+2) mod 52` of the final partial step.
+    pub fn rem(&self) -> u32 {
+        self.rem
+    }
+
+    /// `n0' = -N⁻¹ mod 2⁵²`.
+    pub fn n0_inv(&self) -> u64 {
+        self.n0_inv
+    }
+}
+
 /// Fixed parameters of a radix-2 Montgomery multiplication instance:
 /// the modulus `N` and the circuit width `l` (number of modulus bits
 /// the datapath is sized for).
@@ -250,6 +305,28 @@ impl MontgomeryParams {
             .neg_inv_pow2(LIMB_BITS)
             .to_u64()
             .expect("-N^{-1} mod 2^64 fits one limb")
+    }
+
+    /// The radix-2⁵² digit geometry of this modulus (digit count
+    /// `s₅₂`, full/partial step split of the `2^{l+2}` reduction, and
+    /// `n0' mod 2⁵²`) — everything the carry-save [`crate::cios52`]
+    /// engine needs. Cheap: the only arithmetic is the single-limb
+    /// Newton ladder behind `n0'`, so engine construction can call it
+    /// freely (mirroring [`MontgomeryParams::word_n0_inv`], not the
+    /// division-heavy [`MontgomeryParams::word_domain`]).
+    pub fn radix52(&self) -> Radix52Geometry {
+        const DIGIT_BITS: usize = 52;
+        let k = self.l + 2;
+        Radix52Geometry {
+            digits: k.div_ceil(DIGIT_BITS),
+            full: k / DIGIT_BITS,
+            rem: (k % DIGIT_BITS) as u32,
+            n0_inv: self
+                .n
+                .neg_inv_pow2(DIGIT_BITS)
+                .to_u64()
+                .expect("-N^{-1} mod 2^52 fits one limb"),
+        }
     }
 
     /// The radix-2⁶⁴ view of this modulus: CIOS constants (`limbs`,
@@ -525,6 +602,36 @@ mod tests {
             assert_eq!(prod, Ubig::pow2(64) - Ubig::one(), "l={l}");
             assert_eq!(w.r_mod_n(), w.r().rem(&n), "l={l}");
             assert_eq!(w.r2_mod_n(), (&w.r() * &w.r()).rem(&n), "l={l}");
+        }
+    }
+
+    #[test]
+    fn radix52_geometry_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for l in [3usize, 30, 50, 62, 63, 64, 100, 102, 1024] {
+            let mut n = Ubig::random_exact_bits(&mut rng, l);
+            n.set_bit(0, true);
+            if n < Ubig::from(3u64) {
+                n = Ubig::from(5u64);
+            }
+            let p = MontgomeryParams::new(&n, l);
+            let g = p.radix52();
+            assert_eq!(g.digits(), (l + 2).div_ceil(52), "l={l}");
+            assert_eq!(g.full(), (l + 2) / 52, "l={l}");
+            assert_eq!(g.rem() as usize, (l + 2) % 52, "l={l}");
+            // The full/partial split covers the whole 2^{l+2} shift.
+            assert_eq!(52 * g.full() + g.rem() as usize, l + 2, "l={l}");
+            // N · n0' ≡ -1 (mod 2^52), and n0' < 2^52.
+            assert!(g.n0_inv() < 1 << 52, "l={l}");
+            let prod = (&n * &Ubig::from(g.n0_inv())).low_bits(52);
+            assert_eq!(prod, Ubig::pow2(52) - Ubig::one(), "l={l}");
+            // Consistency with the word-domain constant: both are
+            // -N⁻¹ in their radix, so they agree modulo 2^52.
+            assert_eq!(
+                Ubig::from(p.word_n0_inv()).low_bits(52),
+                Ubig::from(g.n0_inv()),
+                "l={l}"
+            );
         }
     }
 

@@ -1,9 +1,9 @@
-//! Proof that both batch engines' hot paths are allocation-free once
+//! Proof that every batch engine's hot path is allocation-free once
 //! warm: a counting global allocator wraps the system allocator, and
 //! after two warm-up batches (which size the lane state and the
 //! reusable output buffers) further `mont_mul_batch_into` calls must
-//! perform **zero** heap operations — on the bit-sliced engine and on
-//! the radix-2⁶⁴ CIOS engine alike.
+//! perform **zero** heap operations — on the bit-sliced engine, the
+//! radix-2⁶⁴ CIOS engine, and the radix-2⁵² carry-save engine alike.
 //!
 //! Runs with `harness = false` (see the `[[test]]` entry in
 //! `Cargo.toml`): the libtest harness keeps its main thread alive
@@ -15,6 +15,7 @@
 use montgomery_systolic::bigint::Ubig;
 use montgomery_systolic::core::batch::BitSlicedBatch;
 use montgomery_systolic::core::cios::CiosBatch;
+use montgomery_systolic::core::cios52::Cios52Batch;
 use montgomery_systolic::core::modgen::{random_operand, random_safe_params};
 use montgomery_systolic::core::montgomery::mont_mul_alg2;
 use rand::rngs::StdRng;
@@ -50,7 +51,7 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn main() {
     warm_batch_multiplication_does_not_allocate();
-    println!("alloc_free: ok (both engines' warm hot paths performed zero heap ops)");
+    println!("alloc_free: ok (all three engines' warm hot paths performed zero heap ops)");
 }
 
 fn warm_batch_multiplication_does_not_allocate() {
@@ -121,4 +122,30 @@ fn warm_batch_multiplication_does_not_allocate() {
         "warm CIOS mont_mul_batch_into must not touch the heap"
     );
     assert_eq!(ca, a, "CIOS squaring chain bit-identical to bit-sliced");
+
+    // And for the radix-2^52 carry-save engine (whichever kernel is
+    // active on this host): the digit-domain conversions run through
+    // the engine-owned word/digit SoA scratch buffers, so the warm
+    // path must be heap-free too. Note Cios52Kernel::available() has
+    // already been forced by construction, so the OnceLock init (one
+    // Vec) happens before the measurement window.
+    let mut c52 = Cios52Batch::new(params.clone());
+    let mut fa: Vec<Ubig> = Vec::new();
+    let mut fb: Vec<Ubig> = Vec::new();
+    c52.mont_mul_batch_into(&xs, &ys, &mut fa);
+    c52.mont_mul_batch_into(&fa, &fa, &mut fb);
+    std::mem::swap(&mut fa, &mut fb);
+
+    let before = HEAP_OPS.load(Ordering::SeqCst);
+    for _ in 0..8 {
+        c52.mont_mul_batch_into(&fa, &fa, &mut fb);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let after = HEAP_OPS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm Cios52 mont_mul_batch_into must not touch the heap"
+    );
+    assert_eq!(fa, a, "Cios52 squaring chain bit-identical to bit-sliced");
 }

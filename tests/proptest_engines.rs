@@ -3,10 +3,11 @@
 //! proptest drives the shrinking if anything breaks.
 
 use montgomery_systolic::bigint::Ubig;
+use montgomery_systolic::core::cios52::{Cios52Batch, Cios52Kernel};
 use montgomery_systolic::core::mmmc::GateEngine;
 use montgomery_systolic::core::montgomery::{mont_mul_alg1, mont_mul_alg2, MontgomeryParams};
 use montgomery_systolic::core::wave::WaveMmmc;
-use montgomery_systolic::core::{Mmmc, MontMul};
+use montgomery_systolic::core::{BatchMontMul, Mmmc, MontMul};
 use montgomery_systolic::hdl::CarryStyle;
 use proptest::prelude::*;
 
@@ -55,6 +56,42 @@ proptest! {
         let (got, cycles) = gate.mont_mul_counted(&x, &y);
         prop_assert_eq!(got, mont_mul_alg2(&params, &x, &y));
         prop_assert_eq!(cycles, (3 * params.l() + 4) as u64);
+    }
+
+    #[test]
+    fn cios52_every_kernel_matches_spec(
+        params in safe_params(),
+        xs in any::<u64>(),
+        ys in any::<u64>(),
+        lanes in 1usize..=64
+    ) {
+        // The radix-2⁵² carry-save engine against the mathematical
+        // specification, on every kernel this host can run, including
+        // partial batches (lanes < 64).
+        let two_n = params.two_n().to_u64().unwrap();
+        let xs: Vec<Ubig> = (0..lanes)
+            .map(|k| {
+                let step = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Ubig::from(xs.wrapping_add(step) % two_n)
+            })
+            .collect();
+        let ys: Vec<Ubig> = (0..lanes)
+            .map(|k| Ubig::from(ys.wrapping_mul(2 * k as u64 + 1) % two_n))
+            .collect();
+        let want: Vec<Ubig> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| mont_mul_alg2(&params, x, y))
+            .collect();
+        for &kernel in Cios52Kernel::available() {
+            let mut e = Cios52Batch::with_kernel(params.clone(), kernel);
+            prop_assert_eq!(
+                e.mont_mul_batch(&xs, &ys),
+                want.clone(),
+                "kernel {}",
+                kernel.name()
+            );
+        }
     }
 
     #[test]

@@ -1,13 +1,18 @@
-//! Cross-engine property tests for the radix-2⁶⁴ CIOS backend and the
-//! backend-dispatch layer: CIOS ≡ bit-sliced ≡ `Ubig::modpow`, lane
-//! for lane and **bit for bit** (including the non-canonical `< 2N`
-//! Montgomery representatives), across word-boundary widths and
-//! partial batches; plus round-trip proptests for the word-domain
-//! `MontgomeryParams` view.
+//! Cross-engine property tests for the radix-2⁶⁴ and radix-2⁵² CIOS
+//! backends and the backend-dispatch layer: CIOS ≡ CIOS-52 (on every
+//! available kernel: portable/avx2/ifma) ≡ bit-sliced ≡
+//! `Ubig::modpow`, lane for lane and **bit for bit** (including the
+//! non-canonical `< 2N` Montgomery representatives), across
+//! word-boundary widths and partial batches; plus round-trip proptests
+//! for the word-domain `MontgomeryParams` view and the 64↔52-bit
+//! digit-domain conversions.
 
 use montgomery_systolic::bigint::Ubig;
 use montgomery_systolic::core::batch::{mont_mul_many_with, BitSlicedBatch};
 use montgomery_systolic::core::cios::{CiosBatch, CiosMont};
+use montgomery_systolic::core::cios52::{
+    digits52_to_limbs, limbs_to_digits52, Cios52Batch, Cios52Kernel, DIGIT_BITS, DIGIT_MASK,
+};
 use montgomery_systolic::core::expo_batch::{modexp_many_with, BatchModExp};
 use montgomery_systolic::core::modgen::{random_operand, random_safe_params};
 use montgomery_systolic::core::montgomery::MontgomeryParams;
@@ -37,6 +42,14 @@ proptest! {
         let got = cios.mont_mul_batch(&xs, &ys);
         let want = bits.mont_mul_batch(&xs, &ys);
         prop_assert_eq!(&got, &want, "batch CIOS vs bit-sliced at l={}", l);
+
+        // The radix-2⁵² carry-save engine shares the contract too, on
+        // every kernel this host can run.
+        for &kernel in Cios52Kernel::available() {
+            let mut c52 = Cios52Batch::with_kernel(params.clone(), kernel);
+            let got52 = c52.mont_mul_batch(&xs, &ys);
+            prop_assert_eq!(&got52, &want, "cios52/{} at l={}", kernel.name(), l);
+        }
 
         // The scalar CIOS engine and the solo packed wave model agree
         // with both, so all four engines share one contract.
@@ -68,6 +81,8 @@ proptest! {
         let got = cios.modexp_batch_windowed(&ms, &es, w);
         let mut bits = BatchModExp::new(BitSlicedBatch::new(params.clone()));
         prop_assert_eq!(&got, &bits.modexp_batch_windowed(&ms, &es, w), "w={}", w);
+        let mut c52 = BatchModExp::new(Cios52Batch::new(params.clone()));
+        prop_assert_eq!(&got, &c52.modexp_batch_windowed(&ms, &es, w), "cios52 w={}", w);
         for k in 0..lanes {
             prop_assert_eq!(&got[k], &ms[k].modpow(&es[k], &n), "w={} lane {}", w, k);
         }
@@ -83,20 +98,30 @@ proptest! {
         let params = random_safe_params(&mut rng, l);
         let xs: Vec<Ubig> = (0..count).map(|_| random_operand(&mut rng, &params)).collect();
         let ys: Vec<Ubig> = (0..count).map(|_| random_operand(&mut rng, &params)).collect();
-        prop_assert_eq!(
-            mont_mul_many_with(&params, &xs, &ys, EngineKind::Cios),
-            mont_mul_many_with(&params, &xs, &ys, EngineKind::BitSliced)
-        );
         let ms: Vec<Ubig> = (0..count)
             .map(|_| Ubig::random_below(&mut rng, params.n()))
             .collect();
         let es: Vec<Ubig> = (0..count)
             .map(|_| Ubig::random_bits(&mut rng, l))
             .collect();
-        prop_assert_eq!(
-            modexp_many_with(&params, &ms, &es, EngineKind::Cios),
-            modexp_many_with(&params, &ms, &es, EngineKind::BitSliced)
-        );
+        // Sweep *every* backend (not a hardcoded pair) so the next
+        // EngineKind addition is covered automatically.
+        let want_mul = mont_mul_many_with(&params, &xs, &ys, EngineKind::ALL[0]);
+        let want_exp = modexp_many_with(&params, &ms, &es, EngineKind::ALL[0]);
+        for kind in &EngineKind::ALL[1..] {
+            prop_assert_eq!(
+                mont_mul_many_with(&params, &xs, &ys, *kind),
+                want_mul.clone(),
+                "mont_mul_many_with({})",
+                kind.name()
+            );
+            prop_assert_eq!(
+                modexp_many_with(&params, &ms, &es, *kind),
+                want_exp.clone(),
+                "modexp_many_with({})",
+                kind.name()
+            );
+        }
     }
 
     #[test]
@@ -125,6 +150,37 @@ proptest! {
             prop_assert_eq!(&params.bit_to_word_mont(&xb2), &xw, "non-canonical rep");
         }
     }
+
+    #[test]
+    fn digit_domain_conversions_roundtrip_from_limbs(
+        ws in prop::collection::vec(any::<u64>(), 1..8)
+    ) {
+        // 64-bit limbs → 52-bit digits → limbs is the identity, and
+        // the digit vector is normalized and value-preserving.
+        let digits = (ws.len() * 64).div_ceil(DIGIT_BITS);
+        let ds = limbs_to_digits52(&ws, digits);
+        prop_assert!(ds.iter().all(|&d| d <= DIGIT_MASK));
+        prop_assert_eq!(digits52_to_limbs(&ds, ws.len()), ws.clone());
+        // Value check against the big-integer view.
+        let v = Ubig::from_limbs(ws.clone());
+        let mut back = Ubig::zero();
+        for &dig in ds.iter().rev() {
+            back = (&back << DIGIT_BITS) + Ubig::from(dig);
+        }
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn digit_domain_conversions_roundtrip_from_digits(
+        raw in prop::collection::vec(any::<u64>(), 1..10)
+    ) {
+        // Normalized 52-bit digits → limbs → digits is the identity
+        // (the other direction of the round trip).
+        let ds: Vec<u64> = raw.iter().map(|&v| v & DIGIT_MASK).collect();
+        let limbs = (ds.len() * DIGIT_BITS).div_ceil(64);
+        let ws = digits52_to_limbs(&ds, limbs);
+        prop_assert_eq!(limbs_to_digits52(&ws, ds.len()), ds);
+    }
 }
 
 /// Deterministic regression at the exact widths the issue calls out:
@@ -138,6 +194,11 @@ fn cios_bit_identity_at_word_boundary_and_serving_widths() {
         let mut cios = CiosBatch::new(params.clone());
         let mut bits = BitSlicedBatch::new(params.clone());
         let mut scalar = CiosMont::new(params.clone());
+        // Every radix-2⁵² kernel this host can run joins the grid.
+        let mut c52: Vec<Cios52Batch> = Cios52Kernel::available()
+            .iter()
+            .map(|&k| Cios52Batch::with_kernel(params.clone(), k))
+            .collect();
         for lanes in [1usize, 3, 63, 64] {
             let xs: Vec<Ubig> = (0..lanes)
                 .map(|_| random_operand(&mut rng, &params))
@@ -153,6 +214,14 @@ fn cios_bit_identity_at_word_boundary_and_serving_widths() {
                 scalar.mont_mul(&xs[lanes - 1], &ys[lanes - 1]),
                 "l={l} lanes={lanes} scalar"
             );
+            for e in c52.iter_mut() {
+                assert_eq!(
+                    e.mont_mul_batch(&xs, &ys),
+                    want,
+                    "cios52/{} l={l} lanes={lanes}",
+                    e.kernel().name()
+                );
+            }
         }
     }
 }
@@ -207,5 +276,32 @@ fn cios_handles_hardware_unsafe_tight_widths() {
         for k in 0..8 {
             assert_eq!(got[k], mont_mul_alg2(&params, &xs[k], &xs[k]), "lane {k}");
         }
+        // The radix-2⁵² engine is equally unconstrained.
+        for &kernel in Cios52Kernel::available() {
+            let mut c52 = Cios52Batch::with_kernel(params.clone(), kernel);
+            assert_eq!(
+                c52.mont_mul_batch(&xs, &xs),
+                got,
+                "cios52/{} bits={bits}",
+                kernel.name()
+            );
+        }
     }
+}
+
+/// Every member of `EngineKind::ALL` round-trips through its stable
+/// name — so the *next* backend addition is caught automatically if
+/// its `FromStr` arm is forgotten.
+#[test]
+fn every_engine_kind_roundtrips_through_fromstr() {
+    for kind in EngineKind::ALL {
+        assert_eq!(
+            kind.name().parse::<EngineKind>().as_ref(),
+            Ok(&kind),
+            "{} must parse back to {:?}",
+            kind.name(),
+            kind
+        );
+    }
+    assert_eq!(EngineKind::ALL.len(), EngineKind::available().len());
 }
