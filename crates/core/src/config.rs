@@ -37,6 +37,18 @@ use crate::batch::MAX_LANES;
 use crate::engine::EngineKind;
 use crate::error::MmmError;
 use crate::pool::DEFAULT_MAX_KEYS;
+use std::time::Duration;
+
+/// Default fill-or-deadline flush deadline of the serving front-end:
+/// a shard that has not filled its 64 lanes is flushed once its oldest
+/// request has waited this long, so a singleton request never waits
+/// unboundedly for 63 peers that may not exist.
+pub const DEFAULT_FLUSH_DEADLINE: Duration = Duration::from_millis(2);
+
+/// Default bound on the serving front-end's request queue. A full
+/// queue is the backpressure signal ([`MmmError::Overloaded`]) — the
+/// server sheds load instead of buffering without limit.
+pub const DEFAULT_QUEUE_BOUND: usize = 1024;
 
 /// How the batched exponentiators pick their fixed-window width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +73,9 @@ pub struct EngineConfig {
     window: WindowPolicy,
     pool_capacity: usize,
     shard_lanes: usize,
+    flush_deadline: Duration,
+    queue_bound: usize,
+    workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +89,9 @@ impl Default for EngineConfig {
             window: WindowPolicy::Auto,
             pool_capacity: DEFAULT_MAX_KEYS,
             shard_lanes: MAX_LANES,
+            flush_deadline: DEFAULT_FLUSH_DEADLINE,
+            queue_bound: DEFAULT_QUEUE_BOUND,
+            workers: default_workers(),
         }
     }
 }
@@ -97,6 +115,25 @@ impl EngineConfig {
     /// Lanes per batch shard on the `*_many` / session paths.
     pub fn shard_lanes(&self) -> usize {
         self.shard_lanes
+    }
+
+    /// The serving front-end's fill-or-deadline flush deadline: a
+    /// partially filled shard is flushed once its oldest request has
+    /// waited this long.
+    pub fn flush_deadline(&self) -> Duration {
+        self.flush_deadline
+    }
+
+    /// The serving front-end's request-queue bound (the backpressure
+    /// threshold).
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// Worker threads a serving front-end spawns (defaults to the
+    /// host's available parallelism).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Selects the multiplier backend (infallible — both backends are
@@ -155,6 +192,39 @@ impl EngineConfig {
         Ok(self)
     }
 
+    /// Sets the serving flush deadline (infallible — any duration is
+    /// meaningful: `Duration::ZERO` flushes every request immediately,
+    /// the pure-latency end of the latency/throughput knob).
+    pub fn with_flush_deadline(mut self, deadline: Duration) -> Self {
+        self.flush_deadline = deadline;
+        self
+    }
+
+    /// Sets the serving request-queue bound; rejects zero with
+    /// [`MmmError::Config`] (a server that can never admit a request
+    /// is a misconfiguration, not a policy).
+    pub fn with_queue_bound(mut self, bound: usize) -> Result<Self, MmmError> {
+        if bound == 0 {
+            return Err(MmmError::Config(
+                "queue bound must be at least 1".to_string(),
+            ));
+        }
+        self.queue_bound = bound;
+        Ok(self)
+    }
+
+    /// Sets the serving worker-thread count; rejects zero with
+    /// [`MmmError::Config`].
+    pub fn with_workers(mut self, workers: usize) -> Result<Self, MmmError> {
+        if workers == 0 {
+            return Err(MmmError::Config(
+                "worker count must be at least 1".to_string(),
+            ));
+        }
+        self.workers = workers;
+        Ok(self)
+    }
+
     /// The default configuration with every recognized `MMM_*`
     /// environment variable applied: `MMM_ENGINE` (`cios` / `cios52` /
     /// `bitsliced`) selects the backend, `MMM_POOL_KEYS` (a positive
@@ -204,6 +274,15 @@ impl EngineConfig {
     }
 }
 
+/// Default serving worker count: the host's available parallelism
+/// (one worker per core, the quad-core-RSA-processor shape), falling
+/// back to 1 if the host cannot report it.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +294,34 @@ mod tests {
         assert_eq!(c.window(), WindowPolicy::Auto);
         assert_eq!(c.pool_capacity(), DEFAULT_MAX_KEYS);
         assert_eq!(c.shard_lanes(), MAX_LANES);
+        assert_eq!(c.flush_deadline(), DEFAULT_FLUSH_DEADLINE);
+        assert_eq!(c.queue_bound(), DEFAULT_QUEUE_BOUND);
+        assert!(c.workers() >= 1);
+    }
+
+    #[test]
+    fn serving_knobs_validate() {
+        let c = EngineConfig::default()
+            .with_flush_deadline(Duration::from_micros(250))
+            .with_queue_bound(8)
+            .unwrap()
+            .with_workers(3)
+            .unwrap();
+        assert_eq!(c.flush_deadline(), Duration::from_micros(250));
+        assert_eq!(c.queue_bound(), 8);
+        assert_eq!(c.workers(), 3);
+        // Zero deadline is a policy (flush immediately), zero
+        // queue/workers are misconfigurations.
+        let zero = EngineConfig::default().with_flush_deadline(Duration::ZERO);
+        assert_eq!(zero.flush_deadline(), Duration::ZERO);
+        assert!(matches!(
+            EngineConfig::default().with_queue_bound(0),
+            Err(MmmError::Config(_))
+        ));
+        assert!(matches!(
+            EngineConfig::default().with_workers(0),
+            Err(MmmError::Config(_))
+        ));
     }
 
     #[test]

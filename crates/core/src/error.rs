@@ -94,6 +94,26 @@ pub enum MmmError {
     /// An invalid configuration value (builder argument or environment
     /// variable), with a human-readable description.
     Config(String),
+    /// A serving front-end's bounded request queue was full — the
+    /// backpressure signal. The caller should shed load or retry after
+    /// a backoff; the server deliberately bounces instead of buffering
+    /// without limit.
+    Overloaded {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// A blocking operation (queue admission or response wait) did not
+    /// complete within the caller's timeout.
+    DeadlineExceeded,
+    /// The request was accepted but its flush panicked inside a
+    /// serving worker. The panic was isolated — the worker restarted
+    /// and every request of the failed shard received this error
+    /// instead of a wrong answer (or no answer at all).
+    WorkerPanicked,
+    /// The serving front-end is shutting down (or has stopped) and no
+    /// longer admits requests. Requests accepted *before* shutdown are
+    /// still drained and answered.
+    Stopped,
 }
 
 impl std::fmt::Display for MmmError {
@@ -132,6 +152,20 @@ impl std::fmt::Display for MmmError {
                 write!(f, "window must be in 1..=8 (got {window})")
             }
             MmmError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            MmmError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "server overloaded: request queue full ({capacity} slots)"
+                )
+            }
+            MmmError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            MmmError::WorkerPanicked => {
+                write!(
+                    f,
+                    "serving worker panicked while flushing this request's shard"
+                )
+            }
+            MmmError::Stopped => write!(f, "server is stopped and not accepting requests"),
         }
     }
 }
@@ -230,6 +264,13 @@ mod tests {
                 "window must be in 1..=8",
             ),
             (MmmError::Config("oops".into()), "oops"),
+            (
+                MmmError::Overloaded { capacity: 16 },
+                "queue full (16 slots)",
+            ),
+            (MmmError::DeadlineExceeded, "deadline exceeded"),
+            (MmmError::WorkerPanicked, "worker panicked"),
+            (MmmError::Stopped, "not accepting requests"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();

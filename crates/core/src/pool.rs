@@ -53,7 +53,23 @@ use crate::traits::BatchMontMul;
 use mmm_bigint::Ubig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks `m`, recovering from poisoning instead of panicking.
+///
+/// The pool's locks guard state that is **valid by construction** at
+/// every instant a guard can be dropped: the key map and the idle
+/// lists are plain collections whose entries are complete values —
+/// there is no multi-step invariant a panicking holder could leave
+/// half-written. Poisoning therefore carries no information here, and
+/// propagating it (`.expect("poisoned")`) would let one panicked
+/// checkout — e.g. a fault-injected serving worker — brick the
+/// process-global pool and cascade the failure to every other key and
+/// caller. The serving layer (`mmm-rsa::serve`) makes the same
+/// argument for its own locks and reuses this helper.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default cap on distinct `(modulus, width)` entries a pool retains:
 /// generous for real key populations (an RSA key costs two entries on
@@ -174,7 +190,7 @@ impl EnginePool {
         make: impl FnOnce() -> MontgomeryParams,
     ) -> Arc<KeyEntry> {
         {
-            let keys = self.keys.lock().expect("pool key map poisoned");
+            let keys = lock_unpoisoned(&self.keys);
             if let Some(entry) = keys.get(&l).and_then(|per_n| per_n.get(n)) {
                 self.key_hits.fetch_add(1, Ordering::Relaxed);
                 let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -195,7 +211,7 @@ impl EnginePool {
             idle: std::array::from_fn(|_| Mutex::new(Vec::new())),
             last_used: AtomicU64::new(stamp),
         });
-        let mut keys = self.keys.lock().expect("pool key map poisoned");
+        let mut keys = lock_unpoisoned(&self.keys);
         let entry = Arc::clone(keys.entry(l).or_default().entry(n.clone()).or_insert(entry));
         self.evict_lru_locked(&mut keys);
         entry
@@ -277,11 +293,7 @@ impl EnginePool {
         // The caller already computed the params, so a miss here costs
         // one clone, never a division.
         let entry = self.entry_with(params.n(), params.l(), || params.clone());
-        let idle = entry
-            .idle_of(kind)
-            .lock()
-            .expect("pool idle list poisoned")
-            .pop();
+        let idle = lock_unpoisoned(entry.idle_of(kind)).pop();
         let engine = match idle {
             Some(mut engine) => {
                 self.engine_reuses.fetch_add(1, Ordering::Relaxed);
@@ -315,7 +327,7 @@ impl EnginePool {
     /// Drops every cached key and idle engine (engines on loan return
     /// to a fresh entry the next time their key is used).
     pub fn clear(&self) {
-        self.keys.lock().expect("pool key map poisoned").clear();
+        lock_unpoisoned(&self.keys).clear();
     }
 }
 
@@ -346,11 +358,7 @@ impl PooledEngine {
 impl Drop for PooledEngine {
     fn drop(&mut self) {
         if let Some(engine) = self.engine.take() {
-            self.home
-                .idle_of(engine.kind())
-                .lock()
-                .expect("pool idle list poisoned")
-                .push(engine);
+            lock_unpoisoned(self.home.idle_of(engine.kind())).push(engine);
         }
     }
 }
@@ -630,6 +638,43 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn rejects_zero_capacity() {
         let _ = EnginePool::with_capacity(0);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        // One panicked lock holder must not brick the pool: a serving
+        // worker that dies mid-checkout leaves the key map and idle
+        // lists poisoned but structurally intact, and every later
+        // caller recovers via `lock_unpoisoned`.
+        let mut rng = StdRng::seed_from_u64(409);
+        let pool = Arc::new(EnginePool::new());
+        let p = random_safe_params(&mut rng, 20);
+        drop(pool.checkout(&p)); // park one engine so idle lists exist
+        let poisoner = Arc::clone(&pool);
+        let pp = p.clone();
+        let _ = std::thread::spawn(move || {
+            let _keys = poisoner.keys.lock().unwrap();
+            panic!("injected: die while holding the key map");
+        })
+        .join();
+        let entry = pool.entry_with(p.n(), p.l(), || p.clone());
+        let _ = std::thread::spawn(move || {
+            let _idle = entry.idle_of(EngineKind::default_kind()).lock().unwrap();
+            panic!("injected: die while holding an idle list");
+        })
+        .join();
+        assert!(pool.keys.is_poisoned(), "the key map really was poisoned");
+        // The pool still serves checkouts, reuses the parked engine,
+        // and computes correctly.
+        let xs: Vec<Ubig> = (0..3).map(|_| random_operand(&mut rng, &pp)).collect();
+        let mut e = pool.checkout(&pp);
+        let got = e.mont_mul_batch(&xs, &xs);
+        for k in 0..3 {
+            assert_eq!(got[k], mont_mul_alg2(&pp, &xs[k], &xs[k]));
+        }
+        drop(e);
+        pool.clear();
+        drop(pool.checkout(&pp));
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //! Server-shaped callers should start from the typed serving API in
 //! [`server`]: a fallible per-key [`KeyedSession`] handle plus the
 //! [`BatchCollector`] request aggregator, configured through one
-//! [`EngineConfig`] value. The free functions in [`batch`] remain as
-//! thin panicking wrappers for harness code and benchmarks.
+//! [`EngineConfig`] value. On top of that sits [`serve`]: the
+//! fault-tolerant multi-worker front-end ([`Server`]) with
+//! deadline-driven flushing, bounded-queue backpressure, panic
+//! isolation, and a fault-injection harness ([`serve::faults`]). The
+//! free functions in [`batch`] remain as thin panicking wrappers for
+//! harness code and benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +24,7 @@
 pub mod batch;
 pub mod cipher;
 pub mod keys;
+pub mod serve;
 pub mod server;
 pub mod signing;
 
@@ -29,6 +34,7 @@ pub use batch::{
 };
 pub use cipher::{decrypt, decrypt_crt, encrypt};
 pub use keys::RsaKeyPair;
+pub use serve::{FaultPlan, KeyId, ServeStats, Server, ServerBuilder, Ticket};
 pub use server::{BatchCollector, BatchOp, KeyedSession};
 pub use signing::{decrypt_blinded, sign, verify};
 

@@ -177,8 +177,10 @@ impl KeyedSession {
 
 /// Which single-input operation a [`BatchCollector`] aggregates.
 /// (Verification takes message *and* signature per request, so it
-/// stays on [`KeyedSession::verify`].)
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// stays on [`KeyedSession::verify`].) `Hash` because the serving
+/// dispatcher ([`crate::serve`]) shards pending requests by
+/// `(key, op)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatchOp {
     /// `m ^ D mod N` per request ([`KeyedSession::sign`]).
     Sign,
@@ -268,6 +270,18 @@ impl BatchCollector<'_> {
     /// trades throughput for latency.
     pub fn full_shards(&self) -> usize {
         self.pending.len() / self.session.config.shard_lanes()
+    }
+
+    /// Removes and returns every queued-but-unflushed request together
+    /// with its submission id, leaving the collector empty. This is
+    /// the shutdown/error escape hatch: a dispatcher that is stopping
+    /// (or whose flush path is failing) can recover the tail of the
+    /// queue and answer each caller individually — e.g. with a typed
+    /// error — instead of silently dropping it. The ids are the values
+    /// the corresponding [`BatchCollector::submit`] calls returned;
+    /// after a drain the next submit starts from id 0 again.
+    pub fn drain(&mut self) -> Vec<(usize, Ubig)> {
+        self.pending.drain(..).enumerate().collect()
     }
 
     /// Drains the queue through the session and returns one result
@@ -391,6 +405,30 @@ mod tests {
         assert_eq!(sigs, sign_batch_with(&key, &ms, EngineKind::Cios));
         assert!(collector.is_empty());
         assert_eq!(collector.flush().unwrap_err(), MmmError::EmptyBatch);
+    }
+
+    #[test]
+    fn drain_returns_the_unflushed_tail_with_ids() {
+        let key = keypair(32, 96);
+        let session = session_for(EngineKind::Cios, &key);
+        let mut collector = session.collector(BatchOp::Sign);
+        let ms = [Ubig::from(7u64), Ubig::from(11u64), Ubig::from(13u64)];
+        for m in &ms {
+            collector.submit(m.clone()).unwrap();
+        }
+        let drained = collector.drain();
+        assert_eq!(
+            drained,
+            ms.iter()
+                .cloned()
+                .enumerate()
+                .collect::<Vec<(usize, Ubig)>>()
+        );
+        assert!(collector.is_empty());
+        assert_eq!(collector.flush().unwrap_err(), MmmError::EmptyBatch);
+        // Ids restart densely after a drain.
+        assert_eq!(collector.submit(Ubig::from(1u64)).unwrap(), 0);
+        assert_eq!(collector.drain(), vec![(0, Ubig::from(1u64))]);
     }
 
     #[test]
