@@ -266,6 +266,17 @@ impl Cios52Kernel {
             .last()
             .expect("portable kernel is always available")
     }
+
+    /// The next-weaker kernel available on this host, or `None` from
+    /// the portable kernel (there is nothing simpler to retreat to).
+    /// Used by the integrity layer's demotion ladder: a kernel that
+    /// produced a corrupted lane steps down rather than being trusted
+    /// again.
+    pub fn weaker(self) -> Option<Cios52Kernel> {
+        let avail = Self::available();
+        let pos = avail.iter().position(|&k| k == self)?;
+        pos.checked_sub(1).map(|i| avail[i])
+    }
 }
 
 /// The radix-2⁵² carry-save CIOS **batch** engine: up to 64
@@ -333,6 +344,20 @@ impl Cios52Batch {
     /// Which kernel this engine runs.
     pub fn kernel(&self) -> Cios52Kernel {
         self.kernel
+    }
+
+    /// Rebuilds this engine on the next-weaker available kernel
+    /// ([`Cios52Kernel::weaker`]); `true` if a demotion happened,
+    /// `false` when already on the portable kernel. Scratch buffers
+    /// are rebuilt — demotion is a cold recovery path, not a hot one.
+    pub fn demote(&mut self) -> bool {
+        match self.kernel.weaker() {
+            Some(weaker) => {
+                *self = Cios52Batch::with_kernel(self.params.clone(), weaker);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Runs one batch of up to 64 multiplications, writing the
@@ -419,6 +444,10 @@ impl BatchMontMul for Cios52Batch {
 
     fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
         Cios52Batch::mont_mul_batch_into(self, xs, ys, out);
+    }
+
+    fn demote_kernel(&mut self) -> bool {
+        self.demote()
     }
 
     fn name(&self) -> &'static str {
@@ -1043,6 +1072,38 @@ mod tests {
     #[should_panic(expected = "not normalized")]
     fn digits_to_limbs_rejects_unnormalized_digit() {
         let _ = digits52_to_limbs(&[DIGIT_MASK + 1], 1);
+    }
+
+    #[test]
+    fn demotion_walks_down_to_portable_and_stays_correct() {
+        let mut rng = StdRng::seed_from_u64(705);
+        let p = random_safe_params(&mut rng, 64);
+        let xs: Vec<Ubig> = (0..4).map(|_| random_operand(&mut rng, &p)).collect();
+        let ys: Vec<Ubig> = (0..4).map(|_| random_operand(&mut rng, &p)).collect();
+        let want: Vec<Ubig> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| mont_mul_alg2(&p, x, y))
+            .collect();
+        let mut e = Cios52Batch::new(p.clone());
+        assert_eq!(e.kernel(), Cios52Kernel::active());
+        let mut demotions = 0;
+        loop {
+            let mut out = Vec::new();
+            e.mont_mul_batch_into(&xs, &ys, &mut out);
+            assert_eq!(out, want, "kernel {} wrong", e.kernel().name());
+            if !e.demote() {
+                break;
+            }
+            demotions += 1;
+        }
+        assert_eq!(e.kernel(), Cios52Kernel::Portable, "floor is portable");
+        assert_eq!(
+            demotions + 1,
+            Cios52Kernel::available().len(),
+            "one demotion per tier"
+        );
+        assert_eq!(Cios52Kernel::Portable.weaker(), None);
     }
 
     #[test]

@@ -37,6 +37,9 @@ use crate::batch::MAX_LANES;
 use crate::engine::EngineKind;
 use crate::error::MmmError;
 use crate::pool::DEFAULT_MAX_KEYS;
+use crate::verify::faults::CorruptionPlan;
+use crate::verify::{Quarantine, VerifyContext, VerifyPolicy};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default fill-or-deadline flush deadline of the serving front-end:
@@ -67,7 +70,7 @@ pub enum WindowPolicy {
 /// backend, window policy, pool capacity, and shard width. See the
 /// module docs for the relationship to the `MMM_*` environment
 /// variables.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     backend: EngineKind,
     window: WindowPolicy,
@@ -76,7 +79,28 @@ pub struct EngineConfig {
     flush_deadline: Duration,
     queue_bound: usize,
     workers: usize,
+    verify: VerifyPolicy,
+    faults: Arc<CorruptionPlan>,
+    quarantine: Arc<Quarantine>,
 }
+
+impl PartialEq for EngineConfig {
+    /// Compares the configuration *values*. The corruption plan and
+    /// quarantine ledger are shared instrumentation handles, not
+    /// settings, and are deliberately excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.backend == other.backend
+            && self.window == other.window
+            && self.pool_capacity == other.pool_capacity
+            && self.shard_lanes == other.shard_lanes
+            && self.flush_deadline == other.flush_deadline
+            && self.queue_bound == other.queue_bound
+            && self.workers == other.workers
+            && self.verify == other.verify
+    }
+}
+
+impl Eq for EngineConfig {}
 
 impl Default for EngineConfig {
     /// The production defaults: CIOS backend, auto-tuned window,
@@ -92,6 +116,11 @@ impl Default for EngineConfig {
             flush_deadline: DEFAULT_FLUSH_DEADLINE,
             queue_bound: DEFAULT_QUEUE_BOUND,
             workers: default_workers(),
+            verify: VerifyPolicy::Off,
+            // A fresh, inert plan per config: arming one test's plan
+            // must never corrupt another session's arithmetic.
+            faults: Arc::new(CorruptionPlan::default()),
+            quarantine: Quarantine::global(),
         }
     }
 }
@@ -134,6 +163,33 @@ impl EngineConfig {
     /// host's available parallelism).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured integrity-checking policy
+    /// ([`VerifyPolicy::Off`] by default — checking is opt-in).
+    pub fn verify(&self) -> VerifyPolicy {
+        self.verify
+    }
+
+    /// This config's corruption-injection plan (inert unless a test
+    /// armed it).
+    pub fn faults(&self) -> &Arc<CorruptionPlan> {
+        &self.faults
+    }
+
+    /// The quarantine ledger integrity violations are charged to (the
+    /// process-global one unless overridden for test isolation).
+    pub fn quarantine(&self) -> &Arc<Quarantine> {
+        &self.quarantine
+    }
+
+    /// Bundles the three verification handles for the dispatch paths.
+    pub fn verify_context(&self) -> VerifyContext {
+        VerifyContext {
+            policy: self.verify,
+            faults: Arc::clone(&self.faults),
+            quarantine: Arc::clone(&self.quarantine),
+        }
     }
 
     /// Selects the multiplier backend (infallible — both backends are
@@ -225,10 +281,33 @@ impl EngineConfig {
         Ok(self)
     }
 
+    /// Sets the integrity-checking policy (infallible — every policy
+    /// value is valid; cost, not correctness, is what varies).
+    pub fn with_verify(mut self, policy: VerifyPolicy) -> Self {
+        self.verify = policy;
+        self
+    }
+
+    /// Substitutes the corruption-injection plan — how tests arm
+    /// injections on a session they are about to drive.
+    pub fn with_faults(mut self, faults: Arc<CorruptionPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Substitutes the quarantine ledger — tests use a private one so
+    /// injected violations never bench a backend process-wide.
+    pub fn with_quarantine(mut self, quarantine: Arc<Quarantine>) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
     /// The default configuration with every recognized `MMM_*`
     /// environment variable applied: `MMM_ENGINE` (`cios` / `cios52` /
     /// `bitsliced`) selects the backend, `MMM_POOL_KEYS` (a positive
-    /// integer) the pool capacity. This is the **only** place in the
+    /// integer) the pool capacity, `MMM_VERIFY` (`off` / `sampled` /
+    /// `sampled:<k>` / `full`) the integrity-checking policy. This is
+    /// the **only** place in the
     /// workspace that parses these variables; an unrecognized or
     /// unreadable value is an [`MmmError::Config`] naming the variable
     /// — never a silent fallback, so a typo cannot turn an A/B
@@ -270,6 +349,20 @@ impl EngineConfig {
                 )));
             }
         }
+        match std::env::var("MMM_VERIFY") {
+            Ok(v) => {
+                self.verify = v.parse().map_err(|e: MmmError| match e {
+                    MmmError::Config(msg) => MmmError::Config(format!("MMM_VERIFY: {msg}")),
+                    other => other,
+                })?;
+            }
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => {
+                return Err(MmmError::Config(format!(
+                    "unreadable MMM_VERIFY value: {e}"
+                )));
+            }
+        }
         Ok(self)
     }
 }
@@ -297,6 +390,45 @@ mod tests {
         assert_eq!(c.flush_deadline(), DEFAULT_FLUSH_DEADLINE);
         assert_eq!(c.queue_bound(), DEFAULT_QUEUE_BOUND);
         assert!(c.workers() >= 1);
+        assert_eq!(c.verify(), VerifyPolicy::Off, "checking is opt-in");
+    }
+
+    #[test]
+    fn verify_knobs_and_equality_semantics() {
+        let c = EngineConfig::default().with_verify(VerifyPolicy::Full);
+        assert_eq!(c.verify(), VerifyPolicy::Full);
+        let ctx = c.verify_context();
+        assert_eq!(ctx.policy, VerifyPolicy::Full);
+        assert!(Arc::ptr_eq(&ctx.faults, c.faults()));
+        assert!(Arc::ptr_eq(&ctx.quarantine, c.quarantine()));
+
+        // Equality ignores the instrumentation handles (fresh plan per
+        // default config) but not the policy.
+        assert_eq!(EngineConfig::default(), EngineConfig::default());
+        assert_ne!(EngineConfig::default(), c);
+        let q = Arc::new(Quarantine::new());
+        assert_eq!(
+            EngineConfig::default().with_quarantine(Arc::clone(&q)),
+            EngineConfig::default(),
+            "handles are not configuration values"
+        );
+        assert!(Arc::ptr_eq(
+            EngineConfig::default()
+                .with_quarantine(Arc::clone(&q))
+                .quarantine(),
+            &q
+        ));
+        // Default sessions share the process-global quarantine, so
+        // serving counters aggregate across sessions.
+        assert!(Arc::ptr_eq(
+            EngineConfig::default().quarantine(),
+            &Quarantine::global()
+        ));
+        // ... but each default config gets its own inert fault plan.
+        assert!(!Arc::ptr_eq(
+            EngineConfig::default().faults(),
+            EngineConfig::default().faults()
+        ));
     }
 
     #[test]

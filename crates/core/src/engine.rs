@@ -103,6 +103,21 @@ impl EngineKind {
         }
     }
 
+    /// The next-weaker backend in the graceful-degradation chain used
+    /// by the integrity layer ([`crate::verify::Quarantine`]): the
+    /// SIMD-heavy radix-2⁵² scan degrades to the word-serial CIOS
+    /// scan, which degrades to the bit-sliced systolic simulation (the
+    /// slowest backend, but the one structurally closest to the
+    /// paper's hardware and the anchor of the cross-backend test
+    /// oracle). `None` once there is nothing simpler left.
+    pub fn weaker(self) -> Option<EngineKind> {
+        match self {
+            EngineKind::Cios52 => Some(EngineKind::Cios),
+            EngineKind::Cios => Some(EngineKind::BitSliced),
+            EngineKind::BitSliced => None,
+        }
+    }
+
     /// Checks that this backend can run `params`: the bit-sliced
     /// systolic simulation rejects hardware-unsafe parameters with
     /// [`MmmError::HardwareUnsafeWidth`]; the CIOS backend accepts any
@@ -234,6 +249,14 @@ impl BatchMontMul for AnyBatchEngine {
         }
     }
 
+    fn demote_kernel(&mut self) -> bool {
+        match self {
+            // Only the radix-2⁵² backend has SIMD tiers to step down.
+            AnyBatchEngine::Cios52(e) => e.demote(),
+            AnyBatchEngine::Cios(_) | AnyBatchEngine::BitSliced(_) => false,
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             AnyBatchEngine::Cios(e) => e.name(),
@@ -294,6 +317,22 @@ mod tests {
                 kind == EngineKind::BitSliced,
                 "only the systolic simulation is cycle-accurate"
             );
+        }
+    }
+
+    #[test]
+    fn weaker_chain_is_acyclic_and_ends_at_the_systolic_oracle() {
+        assert_eq!(EngineKind::Cios52.weaker(), Some(EngineKind::Cios));
+        assert_eq!(EngineKind::Cios.weaker(), Some(EngineKind::BitSliced));
+        assert_eq!(EngineKind::BitSliced.weaker(), None);
+        for kind in EngineKind::ALL {
+            let mut steps = 0;
+            let mut cur = Some(kind);
+            while let Some(k) = cur {
+                cur = k.weaker();
+                steps += 1;
+                assert!(steps <= EngineKind::ALL.len(), "chain must terminate");
+            }
         }
     }
 

@@ -114,6 +114,15 @@ pub enum MmmError {
     /// longer admits requests. Requests accepted *before* shutdown are
     /// still drained and answered.
     Stopped,
+    /// The arithmetic integrity layer ([`crate::verify`]) detected a
+    /// corrupted result on this lane — and the one verified retry on a
+    /// fallback backend failed too — so the faulty value was withheld
+    /// instead of released (the Bellcore/Lenstra fault-attack
+    /// countermeasure: a wrong CRT plaintext leaks the private key).
+    IntegrityViolation {
+        /// Index of the corrupted lane in the caller's input slice.
+        lane: usize,
+    },
 }
 
 impl std::fmt::Display for MmmError {
@@ -166,6 +175,12 @@ impl std::fmt::Display for MmmError {
                 )
             }
             MmmError::Stopped => write!(f, "server is stopped and not accepting requests"),
+            MmmError::IntegrityViolation { lane } => {
+                write!(
+                    f,
+                    "lane {lane}: integrity violation — corrupted result withheld"
+                )
+            }
         }
     }
 }
@@ -271,6 +286,10 @@ mod tests {
             (MmmError::DeadlineExceeded, "deadline exceeded"),
             (MmmError::WorkerPanicked, "worker panicked"),
             (MmmError::Stopped, "not accepting requests"),
+            (
+                MmmError::IntegrityViolation { lane: 5 },
+                "lane 5: integrity violation",
+            ),
         ];
         for (err, needle) in cases {
             let text = err.to_string();

@@ -48,6 +48,7 @@ use crate::expo_window::best_fixed_window;
 use crate::montgomery::MontgomeryParams;
 use crate::pool;
 use crate::traits::BatchMontMul;
+use crate::verify::{VerifiedEngine, VerifyContext};
 use mmm_bigint::Ubig;
 use rayon::prelude::*;
 
@@ -470,7 +471,15 @@ pub fn modexp_many_with(
     kind: EngineKind,
 ) -> Vec<Ubig> {
     assert_eq!(ms.len(), es.len(), "message/exponent count mismatch");
-    modexp_many_sharded(params, ms, es, kind, MAX_LANES, WindowPolicy::Auto)
+    modexp_many_sharded(
+        params,
+        ms,
+        es,
+        kind,
+        MAX_LANES,
+        WindowPolicy::Auto,
+        &VerifyContext::inert(),
+    )
 }
 
 /// Fully fallible [`modexp_many`] driven by an [`EngineConfig`]
@@ -499,11 +508,14 @@ pub fn try_modexp_many(
         config.backend(),
         config.shard_lanes(),
         config.window(),
+        &config.verify_context(),
     ))
 }
 
 /// The shared sharding core of the per-lane-exponent many-path:
-/// inputs are assumed validated.
+/// inputs are assumed validated. Dispatch is quarantine-aware
+/// ([`Quarantine::effective_kind`]) and every shard engine runs behind
+/// the policy-gated [`VerifiedEngine`] self-check.
 fn modexp_many_sharded(
     params: &MontgomeryParams,
     ms: &[Ubig],
@@ -511,13 +523,19 @@ fn modexp_many_sharded(
     kind: EngineKind,
     shard_lanes: usize,
     window: WindowPolicy,
+    ctx: &VerifyContext,
 ) -> Vec<Ubig> {
     let width = shard_lanes.clamp(1, MAX_LANES);
+    let kind = ctx.quarantine.effective_kind(kind, params);
     let shards: Vec<(&[Ubig], &[Ubig])> = ms.chunks(width).zip(es.chunks(width)).collect();
     shards
         .into_par_iter()
         .map(|(sm, se)| {
-            let mut me = BatchModExp::new(pool::global().checkout_kind(params, kind));
+            let mut me = BatchModExp::new(VerifiedEngine::new(
+                pool::global().checkout_kind(params, kind),
+                kind,
+                ctx.clone(),
+            ));
             match window {
                 WindowPolicy::Auto => me.modexp_batch_auto(sm, se),
                 WindowPolicy::Fixed(w) => me.modexp_batch_windowed(sm, se, w),
@@ -548,7 +566,15 @@ pub fn modexp_many_shared_with(
     e: &Ubig,
     kind: EngineKind,
 ) -> Vec<Ubig> {
-    modexp_many_shared_sharded(params, ms, e, kind, MAX_LANES, WindowPolicy::Auto)
+    modexp_many_shared_sharded(
+        params,
+        ms,
+        e,
+        kind,
+        MAX_LANES,
+        WindowPolicy::Auto,
+        &VerifyContext::inert(),
+    )
 }
 
 /// Fully fallible [`modexp_many_shared`] driven by an
@@ -569,11 +595,15 @@ pub fn try_modexp_many_shared(
         config.backend(),
         config.shard_lanes(),
         config.window(),
+        &config.verify_context(),
     ))
 }
 
 /// The shared sharding core of the shared-exponent many-path: inputs
-/// are assumed validated.
+/// are assumed validated. Dispatch is quarantine-aware
+/// ([`crate::verify::Quarantine::effective_kind`]) and every shard
+/// engine runs behind
+/// the policy-gated [`VerifiedEngine`] self-check.
 fn modexp_many_shared_sharded(
     params: &MontgomeryParams,
     ms: &[Ubig],
@@ -581,13 +611,19 @@ fn modexp_many_shared_sharded(
     kind: EngineKind,
     shard_lanes: usize,
     window: WindowPolicy,
+    ctx: &VerifyContext,
 ) -> Vec<Ubig> {
     let width = shard_lanes.clamp(1, MAX_LANES);
+    let kind = ctx.quarantine.effective_kind(kind, params);
     let shards: Vec<&[Ubig]> = ms.chunks(width).collect();
     shards
         .into_par_iter()
         .map(|sm| {
-            let mut me = BatchModExp::new(pool::global().checkout_kind(params, kind));
+            let mut me = BatchModExp::new(VerifiedEngine::new(
+                pool::global().checkout_kind(params, kind),
+                kind,
+                ctx.clone(),
+            ));
             match window {
                 WindowPolicy::Auto => me.modexp_batch_shared_auto(sm, e),
                 WindowPolicy::Fixed(w) => me.modexp_batch_shared_windowed(sm, e, w),

@@ -35,6 +35,14 @@
 //!    Algorithm-2 contract over 52-bit digits with deferred carries,
 //!    with explicit AVX2 / AVX-512-IFMA kernels selected at runtime
 //!    and a portable auto-vectorizing fallback. See `DESIGN.md` §9.
+//! 9. **Arithmetic integrity layer** ([`verify`]) — policy-gated
+//!    mod-`m` residue self-checks on batch multiplications, a
+//!    backend-quarantine ledger with graceful degradation down the
+//!    [`EngineKind::weaker`](engine::EngineKind::weaker) chain, and
+//!    the corruption-injection harness ([`verify::faults`]) that
+//!    proves detection/retry/quarantine actually fire. The CRT
+//!    verify-before-release countermeasure built on it lives in
+//!    `mmm-rsa`. See `DESIGN.md` §11.
 //!
 //! [`montgomery`] holds the word-independent reference algorithms
 //! (Algorithm 1 with final subtraction and Algorithm 2 without), and
@@ -76,6 +84,7 @@ pub mod modgen;
 pub mod montgomery;
 pub mod pool;
 pub mod traits;
+pub mod verify;
 pub mod wave;
 pub mod wave_packed;
 
@@ -91,5 +100,8 @@ pub use mmmc::Mmmc;
 pub use montgomery::MontgomeryParams;
 pub use pool::EnginePool;
 pub use traits::{BatchMontMul, MontMul};
+pub use verify::{
+    Quarantine, QuarantineStats, ResidueCheck, VerifiedEngine, VerifyContext, VerifyPolicy,
+};
 pub use wave::WaveMmmc;
 pub use wave_packed::PackedMmmc;

@@ -384,6 +384,13 @@ impl BatchMontMul for PooledEngine {
         self.engine_ref().consumed_cycles()
     }
 
+    fn demote_kernel(&mut self) -> bool {
+        // The demoted engine is parked back on drop, so the whole pool
+        // stops re-issuing the faulty kernel for this key — exactly
+        // what a persistent SIMD fault needs.
+        self.engine_mut().demote_kernel()
+    }
+
     fn name(&self) -> &'static str {
         self.engine_ref().name()
     }
@@ -423,6 +430,16 @@ pub fn try_global() -> Result<&'static EnginePool, MmmError> {
         .map_err(Clone::clone)
 }
 
+/// Counters of the process-wide pool ([`PoolStats`]: key hits/misses,
+/// engine reuses/builds, LRU evictions) — the operator-facing view of
+/// cache health and eviction churn, paired with
+/// [`Quarantine::stats`](crate::verify::Quarantine::stats) for the
+/// degraded-backend state, so neither needs a debugger to inspect.
+/// Fails like [`try_global`] on a broken `MMM_*` environment.
+pub fn global_stats() -> Result<PoolStats, MmmError> {
+    try_global().map(EnginePool::stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +467,41 @@ mod tests {
         assert_eq!(s.engine_builds, 2);
         assert_eq!(s.engine_reuses, 2);
         assert_eq!(s.key_misses, 1, "one key entry for one modulus");
+    }
+
+    #[test]
+    fn global_stats_reads_the_process_pool() {
+        let before = global_stats().expect("clean environment");
+        let mut rng = StdRng::seed_from_u64(409);
+        let p = random_safe_params(&mut rng, 16);
+        drop(global().checkout(&p));
+        let after = global_stats().expect("clean environment");
+        assert!(
+            after.engine_builds + after.engine_reuses > before.engine_builds + before.engine_reuses,
+            "the checkout must be visible in the public counters"
+        );
+    }
+
+    #[test]
+    fn pooled_engine_demotion_walks_every_simd_tier() {
+        use crate::cios52::Cios52Kernel;
+        let mut rng = StdRng::seed_from_u64(410);
+        let pool = EnginePool::new();
+        let p = random_safe_params(&mut rng, 24);
+        let mut loan = pool.checkout_kind(&p, EngineKind::Cios52);
+        let mut demotions = 0;
+        while loan.demote_kernel() {
+            demotions += 1;
+        }
+        assert_eq!(
+            demotions,
+            Cios52Kernel::available().len() - 1,
+            "one demotion per tier down to portable"
+        );
+        // Backends with a single implementation have nothing to step
+        // down — the default hook reports false.
+        let mut cios = pool.checkout_kind(&p, EngineKind::Cios);
+        assert!(!cios.demote_kernel());
     }
 
     #[test]

@@ -73,6 +73,17 @@ pub trait BatchMontMul {
         None
     }
 
+    /// Steps the engine down one implementation tier (e.g. IFMA →
+    /// AVX2 → portable for the radix-2⁵² SIMD kernels) after the
+    /// integrity layer ([`crate::verify`]) catches this engine
+    /// producing a corrupted lane — a broken vector unit should stop
+    /// being used without benching the whole backend. Returns `true`
+    /// if a demotion happened; the default is `false` (nothing to
+    /// step down), which single-implementation engines keep.
+    fn demote_kernel(&mut self) -> bool {
+        false
+    }
+
     /// Engine name for reports and benchmarks.
     fn name(&self) -> &'static str;
 }

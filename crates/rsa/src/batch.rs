@@ -28,10 +28,14 @@ use crate::keys::RsaKeyPair;
 use mmm_bigint::Ubig;
 use mmm_core::batch::MAX_LANES;
 use mmm_core::error::OperandBound;
-use mmm_core::expo_batch::modexp_many_shared_with;
+use mmm_core::expo_batch::{modexp_many_shared_with, try_modexp_many_shared};
 use mmm_core::montgomery::MontgomeryParams;
 use mmm_core::pool;
-use mmm_core::{BatchModExp, EngineConfig, EngineKind, MmmError, WindowPolicy};
+use mmm_core::verify::faults::inert_plan;
+use mmm_core::{
+    BatchModExp, EngineConfig, EngineKind, MmmError, VerifiedEngine, VerifyContext, VerifyPolicy,
+    WindowPolicy,
+};
 use rayon::prelude::*;
 
 /// Pooled hardware-safe parameters for a key's modulus.
@@ -115,12 +119,35 @@ pub fn decrypt_crt_batch_with(key: &RsaKeyPair, cs: &[Ubig], kind: EngineKind) -
     decrypt_crt_core(key, &pparams, &qparams, cs, &config).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Everything one CRT batch run needs, bundled so the compute and
+/// verify helpers share a single signature.
+struct CrtPlan<'a> {
+    key: &'a RsaKeyPair,
+    pparams: &'a MontgomeryParams,
+    qparams: &'a MontgomeryParams,
+    config: &'a EngineConfig,
+    pool: &'a pool::EnginePool,
+}
+
 /// The shared CRT decryption core behind [`decrypt_crt_batch_with`]
 /// and [`crate::server::KeyedSession::decrypt_crt`]: validates inputs
-/// as typed errors, then runs each CRT half through the
-/// **shared-exponent** windowed batch scan — the per-shard
-/// `vec![d.clone(); lanes]` materialization is gone; each half's scan
-/// reads its digits straight from `d_p`/`d_q`.
+/// as typed errors, runs each CRT half through the
+/// **shared-exponent** windowed batch scan (each half's scan reads
+/// its digits straight from `d_p`/`d_q`), and — under any
+/// [`VerifyPolicy`] other than `Off` — applies the
+/// **verify-before-release** Bellcore/Lenstra countermeasure: every
+/// recombined plaintext is re-encrypted (`m^e mod N`, cheap since `e`
+/// is small) and compared with the submitted ciphertext *before* it
+/// leaves this function. A mismatched lane is charged to the backend
+/// that produced it and retried once on the next-weaker healthy
+/// backend ([`EngineKind::weaker`]); a lane that is still wrong
+/// surfaces as [`MmmError::IntegrityViolation`] naming the lane —
+/// never as a key-leaking faulty plaintext.
+///
+/// Dispatch is quarantine-aware: a backend benched by earlier
+/// violations is replaced by
+/// [`Quarantine::effective_kind`](mmm_core::verify::Quarantine::effective_kind)
+/// before the run starts.
 pub(crate) fn decrypt_crt_core(
     key: &RsaKeyPair,
     pparams: &MontgomeryParams,
@@ -140,34 +167,146 @@ pub(crate) fn decrypt_crt_core(
     kind.ensure_supports(pparams)?;
     kind.ensure_supports(qparams)?;
     let pool = pool::try_global()?;
+    let plan = CrtPlan {
+        key,
+        pparams,
+        qparams,
+        config,
+        pool,
+    };
+    let ctx = config.verify_context();
+    let run_kind = ctx.quarantine.effective_kind(kind, pparams);
+    let run_kind = if run_kind.ensure_supports(qparams).is_ok() {
+        run_kind
+    } else {
+        kind
+    };
+    let mut ms = crt_halves(&plan, cs, run_kind, &ctx);
+    if ctx.policy == VerifyPolicy::Off {
+        return Ok(ms);
+    }
+    let bad = crt_bad_lanes(&plan, cs, &ms, run_kind)?;
+    if bad.is_empty() {
+        return Ok(ms);
+    }
+    for _ in &bad {
+        ctx.quarantine.record_violation(run_kind);
+    }
+    // One verified retry of just the bad lanes on the next-weaker
+    // backend (falling back to the portable CIOS scan when the chain
+    // runs out or the weaker backend cannot serve these parameters).
+    let fallback = run_kind.weaker().unwrap_or(EngineKind::Cios);
+    let fallback =
+        if fallback.ensure_supports(pparams).is_ok() && fallback.ensure_supports(qparams).is_ok() {
+            fallback
+        } else {
+            EngineKind::Cios
+        };
+    ctx.quarantine.record_fallback_retry();
+    let bad_cs: Vec<Ubig> = bad.iter().map(|&k| cs[k].clone()).collect();
+    let retried = crt_halves(&plan, &bad_cs, fallback, &ctx);
+    let still_bad = crt_bad_lanes(&plan, &bad_cs, &retried, fallback)?;
+    if let Some(&j) = still_bad.first() {
+        return Err(MmmError::IntegrityViolation { lane: bad[j] });
+    }
+    for (&k, fixed) in bad.iter().zip(retried) {
+        ms[k] = fixed;
+        ctx.quarantine.record_correction();
+    }
+    Ok(ms)
+}
+
+/// Computes the CRT plaintexts on `kind` engines: per shard, two
+/// half-width shared-exponent batch scans (mod `p` and mod `q`) and a
+/// per-lane Garner recombination. The engine layer runs behind
+/// [`VerifiedEngine`] (policy-gated residue self-checks), and the
+/// corruption-injection hooks for the pooled-param and CRT-half fault
+/// models are applied here — inert outside tests.
+fn crt_halves(plan: &CrtPlan<'_>, cs: &[Ubig], kind: EngineKind, ctx: &VerifyContext) -> Vec<Ubig> {
     // Fan out over (shard × prime half): the mod-p and mod-q runs of
     // a shard are independent, so they parallelize too — a queue of
     // ≤ 64 ciphertexts still fills two cores instead of one.
-    let width = config.shard_lanes().clamp(1, MAX_LANES);
+    let width = plan.config.shard_lanes().clamp(1, MAX_LANES);
     let shards: Vec<&[Ubig]> = cs.chunks(width).collect();
     let half_runs: Vec<(&[Ubig], &MontgomeryParams, &Ubig)> = shards
         .iter()
-        .flat_map(|&shard| [(shard, pparams, &key.dp), (shard, qparams, &key.dq)])
+        .flat_map(|&shard| {
+            [
+                (shard, plan.pparams, &plan.key.dp),
+                (shard, plan.qparams, &plan.key.dq),
+            ]
+        })
         .collect();
     let halves: Vec<Vec<Ubig>> = half_runs
         .into_par_iter()
         .map(|(shard, params, d)| {
-            let residues: Vec<Ubig> = shard.iter().map(|c| c.rem(params.n())).collect();
-            let mut me = BatchModExp::new(pool.checkout_kind(params, kind));
-            match config.window() {
+            let mut residues: Vec<Ubig> = shard.iter().map(|c| c.rem(params.n())).collect();
+            ctx.faults.corrupt_param_residue(&mut residues, params.n());
+            let mut me = BatchModExp::new(VerifiedEngine::new(
+                plan.pool.checkout_kind(params, kind),
+                kind,
+                ctx.clone(),
+            ));
+            let mut half = match plan.config.window() {
                 WindowPolicy::Auto => me.modexp_batch_shared_auto(&residues, d),
                 WindowPolicy::Fixed(w) => me.modexp_batch_shared_windowed(&residues, d, w),
-            }
+            };
+            ctx.faults.corrupt_crt_half(&mut half, params.n());
+            half
         })
         .collect();
-    Ok(halves
+    halves
         .chunks(2)
         .flat_map(|pair| {
             let (mps, mqs) = (&pair[0], &pair[1]);
             mps.iter()
                 .zip(mqs)
-                .map(|(mp, mq)| crate::cipher::garner(key, mp, mq))
+                .map(|(mp, mq)| crate::cipher::garner(plan.key, mp, mq))
         })
+        .collect()
+}
+
+/// The verify-before-release pass: re-encrypts every candidate
+/// plaintext on `kind` engines and returns the indices (into `ms`)
+/// whose `m^e mod N` does not reproduce the submitted ciphertext. The
+/// verification pass itself runs with checking `Off` and the inert
+/// fault plan — it must neither recurse into another verify pass nor
+/// consume a test's armed injections.
+fn crt_bad_lanes(
+    plan: &CrtPlan<'_>,
+    cs: &[Ubig],
+    ms: &[Ubig],
+    kind: EngineKind,
+) -> Result<Vec<usize>, MmmError> {
+    let nparams = plan.pool.params_for(&plan.key.n);
+    let vconfig = plan
+        .config
+        .clone()
+        .with_backend(kind)
+        .with_verify(VerifyPolicy::Off)
+        .with_faults(inert_plan());
+    // A corrupted lane can in principle exceed N; substitute zero so
+    // the probe vector stays a valid input (such lanes are flagged
+    // unconditionally below, whatever the probe returns).
+    let probe: Vec<Ubig>;
+    let inputs: &[Ubig] = if ms.iter().any(|m| m >= &plan.key.n) {
+        probe = ms
+            .iter()
+            .map(|m| {
+                if m < &plan.key.n {
+                    m.clone()
+                } else {
+                    Ubig::zero()
+                }
+            })
+            .collect();
+        &probe
+    } else {
+        ms
+    };
+    let reenc = try_modexp_many_shared(&nparams, inputs, &plan.key.e, &vconfig)?;
+    Ok((0..ms.len())
+        .filter(|&k| ms[k] >= plan.key.n || reenc[k] != cs[k])
         .collect())
 }
 

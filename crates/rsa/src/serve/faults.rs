@@ -31,6 +31,15 @@
 //! and examples can drive them through the public API without a
 //! feature flag — nothing here can fire unless explicitly armed, and
 //! arming is scoped to one server, so parallel tests never interfere.
+//!
+//! ## Atomic-ordering convention
+//!
+//! The same convention as the serve counters and the engine-level
+//! harness ([`mmm_core::verify::faults`]): **arming switches** are a
+//! handoff protocol, so they keep `fetch_update(AcqRel, Acquire)`
+//! (the armer's writes — e.g. the stall duration — must be visible to
+//! the worker that wins the slot); **fired counters** are monotone
+//! diagnostics read after the fact, so they use `Relaxed` everywhere.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -91,17 +100,17 @@ impl FaultPlan {
 
     /// Injected panics that actually fired.
     pub fn panics_fired(&self) -> usize {
-        self.panics_fired.load(Ordering::Acquire)
+        self.panics_fired.load(Ordering::Relaxed)
     }
 
     /// Injected stalls that actually fired.
     pub fn stalls_fired(&self) -> usize {
-        self.stalls_fired.load(Ordering::Acquire)
+        self.stalls_fired.load(Ordering::Relaxed)
     }
 
     /// Injected queue-full refusals that actually fired.
     pub fn fulls_fired(&self) -> usize {
-        self.fulls_fired.load(Ordering::Acquire)
+        self.fulls_fired.load(Ordering::Relaxed)
     }
 
     /// Worker-side hook, called at the top of every flush. Applies an
@@ -111,11 +120,11 @@ impl FaultPlan {
     /// Panics (by design) when a flush panic is armed.
     pub(crate) fn on_flush(&self) {
         if take_one(&self.stall_flushes) {
-            self.stalls_fired.fetch_add(1, Ordering::AcqRel);
+            self.stalls_fired.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(Duration::from_micros(self.stall_us.load(Ordering::Acquire)));
         }
         if take_one(&self.panic_flushes) {
-            self.panics_fired.fetch_add(1, Ordering::AcqRel);
+            self.panics_fired.fetch_add(1, Ordering::Relaxed);
             panic!("injected worker panic (mmm-rsa::serve::faults)");
         }
     }
@@ -124,7 +133,7 @@ impl FaultPlan {
     /// overloaded.
     pub(crate) fn on_submit(&self) -> bool {
         if take_one(&self.full_submits) {
-            self.fulls_fired.fetch_add(1, Ordering::AcqRel);
+            self.fulls_fired.fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false

@@ -82,7 +82,6 @@ use mmm_core::error::OperandBound;
 use mmm_core::pool::lock_unpoisoned;
 use mmm_core::{EngineConfig, MmmError};
 use queue::PushError;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -122,6 +121,16 @@ pub struct ServeStats {
     pub flush_panics: u64,
     /// Worker serve-loops restarted after an escaped panic.
     pub worker_restarts: u64,
+    /// Lanes on which the arithmetic integrity layer detected a
+    /// corrupted result before release (see
+    /// [`mmm_core::verify`]).
+    pub integrity_violations: u64,
+    /// Detected-then-corrected lanes: answered with a verified retry
+    /// instead of an error.
+    pub integrity_corrected: u64,
+    /// Backends currently benched by the quarantine ledger this
+    /// server dispatches through.
+    pub backends_quarantined: u64,
 }
 
 /// Builds a [`Server`]: collect keys, then spawn the workers.
@@ -169,6 +178,7 @@ impl ServerBuilder {
         let shared = Arc::new(Shared::new(
             self.sessions,
             self.config.queue_bound(),
+            Arc::clone(self.config.quarantine()),
             self.config.shard_lanes(),
             self.config.flush_deadline(),
         ));
@@ -307,22 +317,10 @@ impl Server {
         &self.shared.faults
     }
 
-    /// A snapshot of the diagnostic counters.
+    /// A snapshot of the diagnostic counters — serve tallies plus the
+    /// integrity ledger — read in one place rather than ad-hoc loads.
     pub fn stats(&self) -> ServeStats {
-        let c = &self.shared.counters;
-        ServeStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            overloaded: c.overloaded.load(Ordering::Relaxed),
-            submit_timeouts: c.submit_timeouts.load(Ordering::Relaxed),
-            rejected_invalid: c.rejected_invalid.load(Ordering::Relaxed),
-            completed_ok: c.completed_ok.load(Ordering::Relaxed),
-            completed_err: c.completed_err.load(Ordering::Relaxed),
-            fill_flushes: c.fill_flushes.load(Ordering::Relaxed),
-            deadline_flushes: c.deadline_flushes.load(Ordering::Relaxed),
-            drain_flushes: c.drain_flushes.load(Ordering::Relaxed),
-            flush_panics: c.flush_panics.load(Ordering::Relaxed),
-            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
-        }
+        self.shared.counters.snapshot(&self.shared.quarantine)
     }
 
     /// Graceful drain-then-stop: refuses new submissions, lets the

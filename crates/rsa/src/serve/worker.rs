@@ -31,14 +31,15 @@
 use super::faults::FaultPlan;
 use super::queue::{BoundedQueue, Pop};
 use super::ticket::Responder;
+use super::ServeStats;
 use crate::server::{BatchOp, KeyedSession};
 use mmm_bigint::Ubig;
 use mmm_core::pool::lock_unpoisoned;
-use mmm_core::MmmError;
+use mmm_core::{MmmError, Quarantine};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Upper bound on how long a worker parks without re-checking shard
@@ -104,6 +105,30 @@ impl Counters {
     pub(crate) fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// The single place counters are read for export: folds the serve
+    /// tallies and the integrity ledger of `quarantine` into one
+    /// [`ServeStats`] value (every load relaxed — these are monotone
+    /// diagnostics, not synchronization).
+    pub(crate) fn snapshot(&self, quarantine: &Quarantine) -> ServeStats {
+        let q = quarantine.stats();
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            submit_timeouts: self.submit_timeouts.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            completed_ok: self.completed_ok.load(Ordering::Relaxed),
+            completed_err: self.completed_err.load(Ordering::Relaxed),
+            fill_flushes: self.fill_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            drain_flushes: self.drain_flushes.load(Ordering::Relaxed),
+            flush_panics: self.flush_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            integrity_violations: q.violations,
+            integrity_corrected: q.corrected,
+            backends_quarantined: q.quarantined_backends,
+        }
+    }
 }
 
 /// Everything the workers and the submit path share.
@@ -114,6 +139,10 @@ pub(crate) struct Shared {
     shards: Mutex<HashMap<(usize, BatchOp), PendingShard>>,
     pub(crate) faults: FaultPlan,
     pub(crate) counters: Counters,
+    /// The integrity ledger the sessions' configs dispatch through;
+    /// [`Counters::snapshot`] folds its violation/correction/
+    /// quarantine tallies into [`ServeStats`].
+    pub(crate) quarantine: Arc<Quarantine>,
     pub(crate) shard_lanes: usize,
     pub(crate) flush_deadline: Duration,
 }
@@ -122,6 +151,7 @@ impl Shared {
     pub(crate) fn new(
         sessions: Vec<KeyedSession>,
         queue_bound: usize,
+        quarantine: Arc<Quarantine>,
         shard_lanes: usize,
         flush_deadline: Duration,
     ) -> Self {
@@ -131,6 +161,7 @@ impl Shared {
             shards: Mutex::new(HashMap::new()),
             faults: FaultPlan::default(),
             counters: Counters::default(),
+            quarantine,
             shard_lanes,
             flush_deadline,
         }

@@ -160,6 +160,14 @@ impl KeyedSession {
     /// [`crate::batch::decrypt_crt_batch`] on the same inputs.
     /// Rejects any ciphertext `≥ N` with
     /// [`MmmError::OperandOutOfRange`] naming the lane.
+    ///
+    /// Under a non-`Off` [`mmm_core::VerifyPolicy`] in this session's
+    /// config (builder or `MMM_VERIFY`), the run is
+    /// **verify-before-release**: every plaintext is re-encrypted and
+    /// checked against its ciphertext before it is returned, a bad
+    /// lane is retried once on a weaker backend, and an uncorrectable
+    /// lane surfaces as [`MmmError::IntegrityViolation`] instead of a
+    /// faulty (key-leaking) plaintext.
     pub fn decrypt_crt(&self, cs: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
         decrypt_crt_core(&self.key, &self.pparams, &self.qparams, cs, &self.config)
     }
