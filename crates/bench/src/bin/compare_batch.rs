@@ -27,6 +27,7 @@ use mmm_bigint::Ubig;
 use mmm_core::batch::{BitSlicedBatch, MAX_LANES};
 use mmm_core::cios::CiosBatch;
 use mmm_core::cios52::{Cios52Batch, Cios52Kernel};
+use mmm_core::config::HardeningMode;
 use mmm_core::modgen::{random_operand, random_safe_params};
 use mmm_core::traits::{BatchMontMul, MontMul};
 use mmm_core::wave_packed::PackedMmmc;
@@ -43,6 +44,18 @@ struct Row {
     speedup: f64,
     cios_speedup: f64,
     cios52_speedup_vs_cios: f64,
+    /// Hardened (constant-time canonicalizing) re-measurements of the
+    /// same three batch engines — the per-backend hardening tax
+    /// DESIGN.md §12 quotes.
+    batch_hardened_ns_per_mul: f64,
+    cios_hardened_ns_per_mul: f64,
+    cios52_hardened_ns_per_mul: f64,
+}
+
+impl Row {
+    fn tax_pct(plain: f64, hardened: f64) -> f64 {
+        (hardened / plain - 1.0) * 100.0
+    }
 }
 
 /// The `--features`-style host line: which radix-2⁵² kernels the CPU
@@ -131,11 +144,47 @@ fn main() {
             black_box(cios52.mont_mul_batch(black_box(&xs), black_box(&ys)));
         }) / MAX_LANES as f64;
 
+        // Hardened re-measurement: same engines, same operands, with
+        // the branchless canonicalizing subtraction enabled. Gate the
+        // outputs first — hardened must equal the plain result reduced
+        // to the canonical residue.
+        for e in [&mut batch as &mut dyn BatchMontMul, &mut cios, &mut cios52] {
+            e.set_hardening(HardeningMode::Hardened);
+        }
+        {
+            let want = batch.mont_mul_batch(&xs, &ys);
+            for (k, w) in want.iter().enumerate() {
+                assert!(w < params.n(), "hardened output canonical, lane {k} l={l}");
+            }
+            assert_eq!(cios.mont_mul_batch(&xs, &ys), want, "hardened cios l={l}");
+            assert_eq!(
+                cios52.mont_mul_batch(&xs, &ys),
+                want,
+                "hardened cios52 l={l}"
+            );
+        }
+        let batch_h_ns = time_ns_per_call(budget_ms, || {
+            black_box(batch.mont_mul_batch(black_box(&xs), black_box(&ys)));
+        }) / MAX_LANES as f64;
+        let cios_h_ns = time_ns_per_call(budget_ms, || {
+            black_box(cios.mont_mul_batch(black_box(&xs), black_box(&ys)));
+        }) / MAX_LANES as f64;
+        let cios52_h_ns = time_ns_per_call(budget_ms, || {
+            black_box(cios52.mont_mul_batch(black_box(&xs), black_box(&ys)));
+        }) / MAX_LANES as f64;
+
         let speedup = seq_ns / batch_ns;
         let cios_speedup = batch_ns / cios_ns;
         let cios52_speedup_vs_cios = cios_ns / cios52_ns;
         println!(
             "{l:>6} {seq_ns:>16.1} {batch_ns:>16.1} {cios_ns:>16.1} {cios52_ns:>16.1} {speedup:>8.2}x {cios_speedup:>8.2}x {cios52_speedup_vs_cios:>8.2}x"
+        );
+        println!(
+            "{:>6} hardened tax: bitsliced {:+.1}%, cios {:+.1}%, cios52 {:+.1}%",
+            "",
+            Row::tax_pct(batch_ns, batch_h_ns),
+            Row::tax_pct(cios_ns, cios_h_ns),
+            Row::tax_pct(cios52_ns, cios52_h_ns)
         );
         rows.push(Row {
             l,
@@ -146,6 +195,9 @@ fn main() {
             speedup,
             cios_speedup,
             cios52_speedup_vs_cios,
+            batch_hardened_ns_per_mul: batch_h_ns,
+            cios_hardened_ns_per_mul: cios_h_ns,
+            cios52_hardened_ns_per_mul: cios52_h_ns,
         });
     }
 
@@ -187,7 +239,7 @@ fn main() {
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"l\": {}, \"bitsliced_ns_per_mul\": {:.1}, \"cios_ns_per_mul\": {:.1}, \"cios52_ns_per_mul\": {:.1}, \"cios_speedup_vs_bitsliced\": {:.2}, \"cios_speedup_vs_sequential_packed\": {:.2}, \"cios52_speedup_vs_cios\": {:.2}}}{}\n",
+            "    {{\"l\": {}, \"bitsliced_ns_per_mul\": {:.1}, \"cios_ns_per_mul\": {:.1}, \"cios52_ns_per_mul\": {:.1}, \"cios_speedup_vs_bitsliced\": {:.2}, \"cios_speedup_vs_sequential_packed\": {:.2}, \"cios52_speedup_vs_cios\": {:.2}, \"bitsliced_hardened_ns_per_mul\": {:.1}, \"cios_hardened_ns_per_mul\": {:.1}, \"cios52_hardened_ns_per_mul\": {:.1}, \"bitsliced_hardened_tax_pct\": {:.1}, \"cios_hardened_tax_pct\": {:.1}, \"cios52_hardened_tax_pct\": {:.1}}}{}\n",
             r.l,
             r.batch_ns_per_mul,
             r.cios_ns_per_mul,
@@ -195,6 +247,12 @@ fn main() {
             r.cios_speedup,
             r.seq_ns_per_mul / r.cios_ns_per_mul,
             r.cios52_speedup_vs_cios,
+            r.batch_hardened_ns_per_mul,
+            r.cios_hardened_ns_per_mul,
+            r.cios52_hardened_ns_per_mul,
+            Row::tax_pct(r.batch_ns_per_mul, r.batch_hardened_ns_per_mul),
+            Row::tax_pct(r.cios_ns_per_mul, r.cios_hardened_ns_per_mul),
+            Row::tax_pct(r.cios52_ns_per_mul, r.cios52_hardened_ns_per_mul),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -28,3 +28,4 @@ pub mod radix;
 pub mod table1;
 pub mod table2;
 pub mod textable;
+pub mod timing;

@@ -36,6 +36,7 @@
 
 pub mod arith;
 pub mod bytes;
+pub mod ct;
 pub mod divrem;
 pub mod fmt;
 pub mod limbs;
@@ -46,6 +47,7 @@ pub mod random;
 pub mod transpose;
 pub mod ubig;
 
+pub use ct::Choice;
 pub use montgomery_word::WordMontgomery;
 pub use transpose::{lanes_to_slices, slices_to_lanes, transpose64};
 pub use ubig::Ubig;

@@ -48,7 +48,7 @@
 //! workloads wider than 64 lanes, [`mont_mul_many`] shards across
 //! engines with rayon.
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, HardeningMode};
 use crate::engine::EngineKind;
 use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::MontgomeryParams;
@@ -81,6 +81,9 @@ pub struct BitSlicedBatch {
     /// `2u` — the only `m` values the live wave lattice ever consumes.
     m_even: Vec<u64>,
     total_cycles: u64,
+    /// Constant-time mode: when hardened, every result is
+    /// canonicalized `< N` by [`cond_sub_bitsliced`].
+    hardening: HardeningMode,
 }
 
 impl BitSlicedBatch {
@@ -110,6 +113,7 @@ impl BitSlicedBatch {
             c1: vec![0; w],
             m_even: vec![0; w],
             total_cycles: 0,
+            hardening: HardeningMode::Off,
         })
     }
 
@@ -191,6 +195,9 @@ impl BitSlicedBatch {
         );
         let cycles = (3 * l + 4) as u64;
         self.total_cycles += cycles;
+        if self.hardening.is_hardened() {
+            cond_sub_bitsliced(l, &self.n_pos, &mut self.t);
+        }
         slices_to_lanes_into(&self.t[1..=l + 1], xs.len(), out);
         Ok(cycles)
     }
@@ -294,6 +301,44 @@ fn run_wave(
     }
 }
 
+/// The branchless canonicalizing final subtraction in the bit-sliced
+/// domain: a **full-subtractor chain over bit rows** with all 64
+/// lanes' borrows carried in one lane word. Value bit `b` of lane `k`
+/// lives in bit `k` of `t[b + 1]`; the matching modulus bit is the
+/// broadcast mask `n_pos[b]` (zero for `b = l`, since `N < 2^l`).
+/// Per row the standard full-subtractor equations run as word ops:
+///
+/// ```text
+/// diff    = t ^ n ^ borrow
+/// borrow' = (!t & (n | borrow)) | (n & borrow)
+/// ```
+///
+/// Pass 1 runs the borrow chain alone; the final borrow word has bit
+/// `k` set iff lane `k`'s value is `< N`, so `ge = !borrow` is the
+/// per-lane keep-the-difference mask. Pass 2 recomputes the chain and
+/// selects `(diff & ge) | (t & !ge)` in place. Both passes visit all
+/// `l + 1` rows unconditionally — the schedule depends only on `l` —
+/// and entry values obey the Walter bound (`< 2N`), so every lane
+/// lands in `[0, N)`.
+#[inline(never)]
+fn cond_sub_bitsliced(l: usize, n_pos: &[u64], t: &mut [u64]) {
+    let mut borrow = 0u64;
+    for b in 0..=l {
+        let tb = t[b + 1];
+        let nb = if b < l { n_pos[b] } else { 0 };
+        borrow = (!tb & (nb | borrow)) | (nb & borrow);
+    }
+    let ge = !borrow;
+    let mut borrow = 0u64;
+    for b in 0..=l {
+        let tb = t[b + 1];
+        let nb = if b < l { n_pos[b] } else { 0 };
+        let diff = tb ^ nb ^ borrow;
+        borrow = (!tb & (nb | borrow)) | (nb & borrow);
+        t[b + 1] = (diff & ge) | (tb & !ge);
+    }
+}
+
 impl BatchMontMul for BitSlicedBatch {
     fn params(&self) -> &MontgomeryParams {
         &self.params
@@ -313,6 +358,14 @@ impl BatchMontMul for BitSlicedBatch {
 
     fn consumed_cycles(&self) -> Option<u64> {
         Some(self.total_cycles)
+    }
+
+    fn set_hardening(&mut self, mode: HardeningMode) {
+        self.hardening = mode;
+    }
+
+    fn hardening(&self) -> HardeningMode {
+        self.hardening
     }
 
     fn name(&self) -> &'static str {
@@ -383,7 +436,7 @@ pub fn mont_mul_many_with(
     kind: EngineKind,
 ) -> Vec<Ubig> {
     assert_eq!(xs.len(), ys.len(), "operand count mismatch");
-    mont_mul_many_sharded(params, xs, ys, kind, MAX_LANES)
+    mont_mul_many_sharded(params, xs, ys, kind, MAX_LANES, HardeningMode::Off)
 }
 
 /// Fully fallible [`mont_mul_many`] driven by an [`EngineConfig`]
@@ -422,26 +475,32 @@ pub fn try_mont_mul_many(
         ys,
         config.backend(),
         config.shard_lanes(),
+        config.hardening(),
     ))
 }
 
 /// The shared sharding core of [`mont_mul_many_with`] /
-/// [`try_mont_mul_many`]: inputs are assumed validated.
+/// [`try_mont_mul_many`]: inputs are assumed validated. Under
+/// [`HardeningMode::Hardened`] every checked-out engine runs its
+/// branchless canonicalizing final subtraction, so results are the
+/// canonical `< N` representatives (the same residues; `Off` returns
+/// the raw Algorithm-2 `< 2N` values).
 fn mont_mul_many_sharded(
     params: &MontgomeryParams,
     xs: &[Ubig],
     ys: &[Ubig],
     kind: EngineKind,
     shard_lanes: usize,
+    hardening: HardeningMode,
 ) -> Vec<Ubig> {
     let width = shard_lanes.clamp(1, MAX_LANES);
     let shards: Vec<(&[Ubig], &[Ubig])> = xs.chunks(width).zip(ys.chunks(width)).collect();
     shards
         .into_par_iter()
         .map(|(sx, sy)| {
-            pool::global()
-                .checkout_kind(params, kind)
-                .mont_mul_batch(sx, sy)
+            let mut engine = pool::global().checkout_kind(params, kind);
+            engine.set_hardening(hardening);
+            engine.mont_mul_batch(sx, sy)
         })
         .collect::<Vec<Vec<Ubig>>>()
         .into_iter()
@@ -476,6 +535,31 @@ mod tests {
                     solo.mont_mul(&xs[k], &ys[k]),
                     "lane {k} diverged at l={l}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn hardened_batch_outputs_are_canonical_residues() {
+        let mut rng = StdRng::seed_from_u64(207);
+        for l in [3usize, 17, 63, 64, 65, 130] {
+            let p = random_safe_params(&mut rng, l);
+            let lanes = 64.min(2 * l);
+            let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let mut batch = BitSlicedBatch::new(p.clone());
+            batch.set_hardening(HardeningMode::Hardened);
+            let got = batch.mont_mul_batch(&xs, &ys);
+            for k in 0..lanes {
+                let want = mont_mul_alg2(&p, &xs[k], &ys[k]).rem(p.n());
+                assert_eq!(got[k], want, "lane {k} not canonical at l={l}");
+                assert!(got[k] < *p.n());
+            }
+            // Switching back restores the raw < 2N contract.
+            batch.set_hardening(HardeningMode::Off);
+            let raw = batch.mont_mul_batch(&xs, &ys);
+            for k in 0..lanes {
+                assert_eq!(raw[k], mont_mul_alg2(&p, &xs[k], &ys[k]));
             }
         }
     }

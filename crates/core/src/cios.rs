@@ -47,14 +47,20 @@
 //! The scan itself has a fixed schedule: no final subtraction (the
 //! Walter bound keeps results `< 2N`), no data-dependent branches, and
 //! a memory access pattern that depends only on `(l, lanes)` — the
-//! quotient words `m` feed multiplies, never indexing. The caveat
-//! documented for the windowed exponentiator still applies above this
-//! layer: `modexp_batch_windowed` indexes its power table with secret
-//! digits whichever multiplier backend runs underneath.
+//! quotient words `m` feed multiplies, never indexing. Under
+//! [`HardeningMode::Hardened`] the engine appends a **branchless
+//! canonicalizing final subtraction** (`cond_sub_rows`): two fixed
+//! passes over the SoA accumulator (a borrow chain to decide `t ≥ N`
+//! per lane, a masked subtraction to apply it), so outputs are `< N`
+//! with a schedule independent of the values. The exponentiation-layer
+//! leaks (secret-indexed power-table loads) are closed separately in
+//! [`crate::expo_batch`]; DESIGN.md §12 has the full per-path table.
 
+use crate::config::HardeningMode;
 use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::MontgomeryParams;
 use crate::traits::{BatchMontMul, MontMul};
+use mmm_bigint::ct::sbb_ct;
 use mmm_bigint::limbs::{adc, carrying_mul, mac_with_carry, Limb, LIMB_BITS};
 use mmm_bigint::transpose::{lanes_to_limbs_into, limbs_to_lanes_into};
 use mmm_bigint::Ubig;
@@ -238,6 +244,9 @@ pub struct CiosBatch {
     y: Vec<Limb>,
     /// SoA accumulator, `sw + 2` limb rows.
     t: Vec<Limb>,
+    /// Constant-time mode: when hardened, every result is canonicalized
+    /// `< N` by [`cond_sub_rows`].
+    hardening: HardeningMode,
 }
 
 impl CiosBatch {
@@ -253,6 +262,7 @@ impl CiosBatch {
             t: vec![0; (geo.sw + 2) * MAX_LANES],
             params,
             geo,
+            hardening: HardeningMode::Off,
         }
     }
 
@@ -289,6 +299,9 @@ impl CiosBatch {
         lanes_to_limbs_into(ys, self.geo.sw, MAX_LANES, &mut self.y);
         self.t.fill(0);
         run_cios_batch(self.geo, &self.n, &self.x, &self.y, &mut self.t);
+        if self.hardening.is_hardened() {
+            cond_sub_rows(&self.n, &mut self.t, self.geo.sw);
+        }
         limbs_to_lanes_into(
             &self.t[..self.geo.sw * MAX_LANES],
             self.geo.sw,
@@ -469,6 +482,46 @@ fn run_cios_batch(geo: Geometry, n: &[Limb], x: &[Limb], y: &[Limb], t: &mut [Li
     );
 }
 
+/// The branchless canonicalizing final subtraction over a word-SoA
+/// accumulator: for every lane `k`, subtracts the (lane-shared,
+/// `rows`-limb padded) modulus `n` from `t[·,k]` exactly when
+/// `t[·,k] ≥ N` — deciding with one full borrow chain and applying
+/// with one masked subtraction, so both passes execute the same
+/// instruction trace whatever the lane values are (the
+/// [`mmm_bigint::ct`] discipline, vectorized across lanes).
+///
+/// Entry values obey the Walter bound (`< 2N`), so one conditional
+/// subtraction lands every lane in `[0, N)`. Allocation-free: two
+/// stack [`LaneRow`]s of per-lane borrow/mask state.
+#[inline(never)]
+pub(crate) fn cond_sub_rows(n: &[Limb], t: &mut [Limb], rows: usize) {
+    // Pass 1: full borrow chain per lane — t < N iff it borrows out.
+    let mut borrow: LaneRow = [0; MAX_LANES];
+    for (j, &nj) in n.iter().enumerate().take(rows) {
+        let tj = row(t, j);
+        for k in 0..MAX_LANES {
+            let (_, b) = sbb_ct(tj[k], nj, borrow[k]);
+            borrow[k] = b;
+        }
+    }
+    // borrow = 0 → t ≥ N → all-ones mask (two's-complement decrement).
+    let mut mask: LaneRow = [0; MAX_LANES];
+    for k in 0..MAX_LANES {
+        mask[k] = borrow[k].wrapping_sub(1);
+    }
+    // Pass 2: recompute the subtraction with the modulus masked to
+    // zero in lanes that keep their value — same trace either way.
+    borrow = [0; MAX_LANES];
+    for (j, &nj) in n.iter().enumerate().take(rows) {
+        let tj = row_mut(t, j);
+        for k in 0..MAX_LANES {
+            let (d, b) = sbb_ct(tj[k], nj & mask[k], borrow[k]);
+            tj[k] = d;
+            borrow[k] = b;
+        }
+    }
+}
+
 impl BatchMontMul for CiosBatch {
     fn params(&self) -> &MontgomeryParams {
         &self.params
@@ -486,6 +539,14 @@ impl BatchMontMul for CiosBatch {
 
     fn mont_mul_batch_into(&mut self, xs: &[Ubig], ys: &[Ubig], out: &mut Vec<Ubig>) {
         CiosBatch::mont_mul_batch_into(self, xs, ys, out);
+    }
+
+    fn set_hardening(&mut self, mode: HardeningMode) {
+        self.hardening = mode;
+    }
+
+    fn hardening(&self) -> HardeningMode {
+        self.hardening
     }
 
     fn name(&self) -> &'static str {
@@ -601,6 +662,32 @@ mod tests {
             a = batch.mont_mul_batch(&a, &a);
             want = want.iter().map(|v| mont_mul_alg2(&p, v, v)).collect();
             assert_eq!(a, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn hardened_batch_outputs_are_canonical_residues() {
+        let mut rng = StdRng::seed_from_u64(508);
+        for l in [3usize, 30, 62, 63, 64, 65, 130] {
+            let p = random_safe_params(&mut rng, l);
+            let lanes = 64.min(2 * l);
+            let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let mut batch = CiosBatch::new(p.clone());
+            batch.set_hardening(HardeningMode::Hardened);
+            assert_eq!(batch.hardening(), HardeningMode::Hardened);
+            let got = batch.mont_mul_batch(&xs, &ys);
+            for k in 0..lanes {
+                let want = mont_mul_alg2(&p, &xs[k], &ys[k]).rem(p.n());
+                assert_eq!(got[k], want, "lane {k} at l={l}");
+                assert!(got[k] < *p.n(), "lane {k} not canonical at l={l}");
+            }
+            // Switching back restores the raw < 2N contract.
+            batch.set_hardening(HardeningMode::Off);
+            let raw = batch.mont_mul_batch(&xs, &ys);
+            for k in 0..lanes {
+                assert_eq!(raw[k], mont_mul_alg2(&p, &xs[k], &ys[k]), "lane {k}");
+            }
         }
     }
 

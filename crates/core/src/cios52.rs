@@ -53,8 +53,16 @@
 //!
 //! Identical to the radix-2⁶⁴ scan: fixed schedule, no final
 //! subtraction, no data-dependent branches; quotient digits feed
-//! multiplies, never indexing.
+//! multiplies, never indexing. Under [`HardeningMode::Hardened`] the
+//! word-form output (after the digit→word scatter, which is
+//! shape-driven and value-independent) gets the same branchless
+//! canonicalizing final subtraction as the radix-2⁶⁴ backend
+//! (`cios::cond_sub_rows`) — one decision borrow chain plus
+//! one masked subtraction per lane, so hardened outputs are `< N` on
+//! every kernel with a value-independent schedule. DESIGN.md §12 has
+//! the full per-path table.
 
+use crate::config::HardeningMode;
 use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::MontgomeryParams;
 use crate::traits::BatchMontMul;
@@ -290,6 +298,10 @@ pub struct Cios52Batch {
     kernel: Cios52Kernel,
     /// Modulus as `s` normalized 52-bit digits (shared by all lanes).
     n: Vec<Limb>,
+    /// Modulus in 64-bit word form padded to `sw` limbs — what the
+    /// hardened final subtraction compares the word-form output
+    /// against.
+    n_words: Vec<Limb>,
     /// Word-domain SoA staging buffer (`sw` rows), reused for input
     /// transposes and the output conversion.
     wscratch: Vec<Limb>,
@@ -298,6 +310,9 @@ pub struct Cios52Batch {
     y: Vec<Limb>,
     /// Digit-domain SoA accumulator, `s + 2` rows.
     t: Vec<Limb>,
+    /// Constant-time mode: when hardened, every result is
+    /// canonicalized `< N` (see the module docs).
+    hardening: HardeningMode,
 }
 
 impl Cios52Batch {
@@ -326,6 +341,7 @@ impl Cios52Batch {
         n_words.resize(geo.sw, 0);
         Cios52Batch {
             n: limbs_to_digits52(&n_words, geo.s),
+            n_words,
             wscratch: vec![0; geo.sw * MAX_LANES],
             x: vec![0; geo.s * MAX_LANES],
             y: vec![0; geo.s * MAX_LANES],
@@ -333,6 +349,7 @@ impl Cios52Batch {
             params,
             geo,
             kernel,
+            hardening: HardeningMode::Off,
         }
     }
 
@@ -353,7 +370,11 @@ impl Cios52Batch {
     pub fn demote(&mut self) -> bool {
         match self.kernel.weaker() {
             Some(weaker) => {
+                // The rebuild must not silently drop the constant-time
+                // mode — a demoted hardened engine stays hardened.
+                let hardening = self.hardening;
                 *self = Cios52Batch::with_kernel(self.params.clone(), weaker);
+                self.hardening = hardening;
                 true
             }
             None => false,
@@ -391,6 +412,9 @@ impl Cios52Batch {
         self.t.fill(0);
         self.run_kernel();
         soa_digits52_to_words(&self.t, self.geo.s, &mut self.wscratch, self.geo.sw);
+        if self.hardening.is_hardened() {
+            crate::cios::cond_sub_rows(&self.n_words, &mut self.wscratch, self.geo.sw);
+        }
         limbs_to_lanes_into(
             &self.wscratch[..self.geo.sw * MAX_LANES],
             self.geo.sw,
@@ -448,6 +472,14 @@ impl BatchMontMul for Cios52Batch {
 
     fn demote_kernel(&mut self) -> bool {
         self.demote()
+    }
+
+    fn set_hardening(&mut self, mode: HardeningMode) {
+        self.hardening = mode;
+    }
+
+    fn hardening(&self) -> HardeningMode {
+        self.hardening
     }
 
     fn name(&self) -> &'static str {
@@ -1217,6 +1249,43 @@ mod tests {
                 assert_eq!(a, want, "{} round {round}", kernel.name());
             }
         }
+    }
+
+    #[test]
+    fn hardened_outputs_are_canonical_on_every_kernel() {
+        let mut rng = StdRng::seed_from_u64(708);
+        for l in [3usize, 50, 51, 64, 103, 150] {
+            let p = random_safe_params(&mut rng, l);
+            let lanes = 64.min(2 * l);
+            let xs: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            let ys: Vec<Ubig> = (0..lanes).map(|_| random_operand(&mut rng, &p)).collect();
+            for &kernel in Cios52Kernel::available() {
+                let mut e = Cios52Batch::with_kernel(p.clone(), kernel);
+                e.set_hardening(HardeningMode::Hardened);
+                let got = e.mont_mul_batch(&xs, &ys);
+                for k in 0..lanes {
+                    let want = mont_mul_alg2(&p, &xs[k], &ys[k]).rem(p.n());
+                    assert_eq!(got[k], want, "{} lane {k} l={l}", kernel.name());
+                    assert!(got[k] < *p.n(), "{} lane {k} l={l}", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demotion_preserves_hardening() {
+        let p = MontgomeryParams::new(&Ubig::from(13u64), 4);
+        let mut e = Cios52Batch::new(p);
+        e.set_hardening(HardeningMode::Hardened);
+        while e.demote() {
+            assert_eq!(
+                e.hardening(),
+                HardeningMode::Hardened,
+                "demotion to {} dropped hardening",
+                e.kernel().name()
+            );
+        }
+        assert_eq!(e.hardening(), HardeningMode::Hardened);
     }
 
     #[test]

@@ -66,6 +66,79 @@ pub enum WindowPolicy {
     Fixed(usize),
 }
 
+/// Whether the serving stack runs its constant-time hardened paths.
+///
+/// `Off` (the default) is the raw throughput mode documented since
+/// PR 2: secret-indexed power-table loads, value-dependent skip
+/// scheduling, and outputs in the Algorithm-2 `[0, 2N)` band.
+/// `Hardened` closes the timing side channels DESIGN.md §12
+/// enumerates: the windowed exponent scan selects table entries by a
+/// branchless full-table sweep, every batch engine canonicalizes its
+/// output with a branchless final subtraction (results `< N`), the
+/// skip-when-all-zero fast path is disabled, and
+/// [`KeyedSession`](../../mmm_rsa/server/struct.KeyedSession.html)
+/// blinds CRT decryption. Results are **bit-identical** to `Off` mode
+/// — only the instruction/access schedule changes (and a measured
+/// throughput tax, see BENCH_radix.json).
+///
+/// Parse from the `MMM_HARDENED` environment variable (via
+/// [`EngineConfig::from_env`]) or any string: `1`/`true`/`on`/
+/// `hardened` enable, `0`/`false`/`off` disable, anything else is
+/// [`MmmError::Config`].
+///
+/// ```
+/// use mmm_core::config::HardeningMode;
+///
+/// assert_eq!("1".parse::<HardeningMode>()?, HardeningMode::Hardened);
+/// assert_eq!("off".parse::<HardeningMode>()?, HardeningMode::Off);
+/// assert!("hardend".parse::<HardeningMode>().is_err()); // typo surfaces
+/// # Ok::<(), mmm_core::error::MmmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HardeningMode {
+    /// Raw throughput mode — no constant-time guarantees (default).
+    #[default]
+    Off,
+    /// Constant-time scan, branchless canonicalizing final
+    /// subtraction, and blinded CRT decryption.
+    Hardened,
+}
+
+impl HardeningMode {
+    /// Whether this mode is [`HardeningMode::Hardened`].
+    pub fn is_hardened(self) -> bool {
+        matches!(self, HardeningMode::Hardened)
+    }
+
+    /// The canonical lowercase name (`off` / `hardened`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HardeningMode::Off => "off",
+            HardeningMode::Hardened => "hardened",
+        }
+    }
+}
+
+impl std::str::FromStr for HardeningMode {
+    type Err = MmmError;
+
+    fn from_str(s: &str) -> Result<Self, MmmError> {
+        match s.to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "hardened" => Ok(HardeningMode::Hardened),
+            "0" | "false" | "off" => Ok(HardeningMode::Off),
+            other => Err(MmmError::Config(format!(
+                "unknown hardening mode {other:?} (expected 1/true/on/hardened or 0/false/off)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for HardeningMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Every serving-path knob as one typed, validated value: multiplier
 /// backend, window policy, pool capacity, and shard width. See the
 /// module docs for the relationship to the `MMM_*` environment
@@ -80,6 +153,7 @@ pub struct EngineConfig {
     queue_bound: usize,
     workers: usize,
     verify: VerifyPolicy,
+    hardening: HardeningMode,
     faults: Arc<CorruptionPlan>,
     quarantine: Arc<Quarantine>,
 }
@@ -97,6 +171,7 @@ impl PartialEq for EngineConfig {
             && self.queue_bound == other.queue_bound
             && self.workers == other.workers
             && self.verify == other.verify
+            && self.hardening == other.hardening
     }
 }
 
@@ -117,6 +192,7 @@ impl Default for EngineConfig {
             queue_bound: DEFAULT_QUEUE_BOUND,
             workers: default_workers(),
             verify: VerifyPolicy::Off,
+            hardening: HardeningMode::Off,
             // A fresh, inert plan per config: arming one test's plan
             // must never corrupt another session's arithmetic.
             faults: Arc::new(CorruptionPlan::default()),
@@ -169,6 +245,12 @@ impl EngineConfig {
     /// ([`VerifyPolicy::Off`] by default — checking is opt-in).
     pub fn verify(&self) -> VerifyPolicy {
         self.verify
+    }
+
+    /// The configured hardening mode ([`HardeningMode::Off`] by
+    /// default — constant-time execution is opt-in, like checking).
+    pub fn hardening(&self) -> HardeningMode {
+        self.hardening
     }
 
     /// This config's corruption-injection plan (inert unless a test
@@ -288,6 +370,28 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the hardening mode (infallible — both modes are always
+    /// valid; Hardened trades throughput for constant-time execution).
+    ///
+    /// Composes with [`EngineConfig::with_verify`]: hardening closes
+    /// *timing* channels, verification closes *fault* channels, and a
+    /// production decryption service typically wants both.
+    ///
+    /// ```
+    /// use mmm_core::config::{EngineConfig, HardeningMode};
+    /// use mmm_core::verify::VerifyPolicy;
+    ///
+    /// let c = EngineConfig::default()
+    ///     .with_hardening(HardeningMode::Hardened)
+    ///     .with_verify(VerifyPolicy::Full);
+    /// assert!(c.hardening().is_hardened());
+    /// assert_eq!(c.verify(), VerifyPolicy::Full);
+    /// ```
+    pub fn with_hardening(mut self, hardening: HardeningMode) -> Self {
+        self.hardening = hardening;
+        self
+    }
+
     /// Substitutes the corruption-injection plan — how tests arm
     /// injections on a session they are about to drive.
     pub fn with_faults(mut self, faults: Arc<CorruptionPlan>) -> Self {
@@ -306,8 +410,9 @@ impl EngineConfig {
     /// environment variable applied: `MMM_ENGINE` (`cios` / `cios52` /
     /// `bitsliced`) selects the backend, `MMM_POOL_KEYS` (a positive
     /// integer) the pool capacity, `MMM_VERIFY` (`off` / `sampled` /
-    /// `sampled:<k>` / `full`) the integrity-checking policy. This is
-    /// the **only** place in the
+    /// `sampled:<k>` / `full`) the integrity-checking policy, and
+    /// `MMM_HARDENED` (`1` / `0`, see [`HardeningMode`]) the
+    /// constant-time hardening mode. This is the **only** place in the
     /// workspace that parses these variables; an unrecognized or
     /// unreadable value is an [`MmmError::Config`] naming the variable
     /// — never a silent fallback, so a typo cannot turn an A/B
@@ -363,6 +468,20 @@ impl EngineConfig {
                 )));
             }
         }
+        match std::env::var("MMM_HARDENED") {
+            Ok(v) => {
+                self.hardening = v.parse().map_err(|e: MmmError| match e {
+                    MmmError::Config(msg) => MmmError::Config(format!("MMM_HARDENED: {msg}")),
+                    other => other,
+                })?;
+            }
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => {
+                return Err(MmmError::Config(format!(
+                    "unreadable MMM_HARDENED value: {e}"
+                )));
+            }
+        }
         Ok(self)
     }
 }
@@ -391,6 +510,40 @@ mod tests {
         assert_eq!(c.queue_bound(), DEFAULT_QUEUE_BOUND);
         assert!(c.workers() >= 1);
         assert_eq!(c.verify(), VerifyPolicy::Off, "checking is opt-in");
+        assert_eq!(c.hardening(), HardeningMode::Off, "hardening is opt-in");
+    }
+
+    #[test]
+    fn hardening_mode_parses_and_displays() {
+        for s in ["1", "true", "on", "hardened", "HARDENED", "On"] {
+            assert_eq!(
+                s.parse::<HardeningMode>(),
+                Ok(HardeningMode::Hardened),
+                "{s}"
+            );
+        }
+        for s in ["0", "false", "off", "OFF"] {
+            assert_eq!(s.parse::<HardeningMode>(), Ok(HardeningMode::Off), "{s}");
+        }
+        for s in ["", "yes", "hardend", "2"] {
+            assert!(
+                matches!(s.parse::<HardeningMode>(), Err(MmmError::Config(_))),
+                "{s:?} must be rejected"
+            );
+        }
+        assert_eq!(HardeningMode::Hardened.to_string(), "hardened");
+        assert_eq!(HardeningMode::Off.to_string(), "off");
+        assert!(HardeningMode::Hardened.is_hardened());
+        assert!(!HardeningMode::Off.is_hardened());
+    }
+
+    #[test]
+    fn hardening_knob_and_equality() {
+        let c = EngineConfig::default().with_hardening(HardeningMode::Hardened);
+        assert!(c.hardening().is_hardened());
+        // Hardening is a configuration value, not an instrumentation
+        // handle: it participates in equality.
+        assert_ne!(c, EngineConfig::default());
     }
 
     #[test]

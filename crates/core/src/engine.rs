@@ -200,11 +200,15 @@ impl AnyBatchEngine {
     }
 
     /// Zeroes any per-loan observable state (the bit-sliced cycle
-    /// counter); recycled engines must look freshly built.
+    /// counter, the hardening mode); recycled engines must look
+    /// freshly built. In particular a hardened loan must not leak
+    /// canonicalized (`< N`) outputs into the next, unhardened
+    /// checkout — DESIGN.md §12.
     pub fn reset_loan_state(&mut self) {
         if let AnyBatchEngine::BitSliced(e) = self {
             e.reset_cycle_counter();
         }
+        self.set_hardening(crate::config::HardeningMode::Off);
     }
 }
 
@@ -254,6 +258,22 @@ impl BatchMontMul for AnyBatchEngine {
             // Only the radix-2⁵² backend has SIMD tiers to step down.
             AnyBatchEngine::Cios52(e) => e.demote(),
             AnyBatchEngine::Cios(_) | AnyBatchEngine::BitSliced(_) => false,
+        }
+    }
+
+    fn set_hardening(&mut self, mode: crate::config::HardeningMode) {
+        match self {
+            AnyBatchEngine::Cios(e) => e.set_hardening(mode),
+            AnyBatchEngine::Cios52(e) => e.set_hardening(mode),
+            AnyBatchEngine::BitSliced(e) => e.set_hardening(mode),
+        }
+    }
+
+    fn hardening(&self) -> crate::config::HardeningMode {
+        match self {
+            AnyBatchEngine::Cios(e) => e.hardening(),
+            AnyBatchEngine::Cios52(e) => e.hardening(),
+            AnyBatchEngine::BitSliced(e) => e.hardening(),
         }
     }
 
@@ -369,6 +389,31 @@ mod tests {
         let err = "coos".parse::<EngineKind>().unwrap_err();
         assert!(matches!(err, MmmError::Config(_)), "{err}");
         assert!(err.to_string().contains("coos"), "{err}");
+    }
+
+    #[test]
+    fn hardening_threads_through_dispatch_and_resets_with_the_loan() {
+        use crate::config::HardeningMode;
+        let mut rng = StdRng::seed_from_u64(603);
+        let p = random_safe_params(&mut rng, 40);
+        let xs: Vec<Ubig> = (0..8).map(|_| random_operand(&mut rng, &p)).collect();
+        let ys: Vec<Ubig> = (0..8).map(|_| random_operand(&mut rng, &p)).collect();
+        for kind in EngineKind::ALL {
+            let mut e = kind.build(p.clone());
+            assert_eq!(e.hardening(), HardeningMode::Off);
+            e.set_hardening(HardeningMode::Hardened);
+            assert_eq!(e.hardening(), HardeningMode::Hardened, "{}", kind.name());
+            for out in e.mont_mul_batch(&xs, &ys) {
+                assert!(
+                    out < *p.n(),
+                    "hardened {} output not canonical",
+                    kind.name()
+                );
+            }
+            // A recycled loan must come back unhardened.
+            e.reset_loan_state();
+            assert_eq!(e.hardening(), HardeningMode::Off, "{}", kind.name());
+        }
     }
 
     #[test]

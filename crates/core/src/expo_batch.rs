@@ -31,9 +31,19 @@
 //! [`BatchExpoStats::skipped_multiplications`] and
 //! `consumed_cycles`) — and the windowed variant additionally indexes
 //! its table with secret digits (a data-dependent memory access
-//! pattern). This engine is a throughput simulator, not a hardened
-//! implementation — side-channel-sensitive paths should use
-//! protocol-level blinding (see `mmm-rsa`'s `decrypt_blinded`).
+//! pattern).
+//!
+//! Both leaks are closed when the bound engine reports
+//! [`HardeningMode::Hardened`] (DESIGN.md §12): the skip-when-all-zero
+//! optimization is disabled (every step multiplies, digit-0 lanes by
+//! `1̄`), and every secret-indexed table read is replaced by a
+//! branchless **full-table sweep** — all `2^w` rows are loaded every
+//! time and masked-accumulated ([`mmm_bigint::ct::or_assign_masked`])
+//! so the memory trace is digit-independent. Results stay bit-identical
+//! to the unhardened scan; the cost is the disabled skips plus the
+//! sweep (measured in `BENCH_radix.json`). Protocol-level blinding
+//! (`mmm-rsa`'s session decryption) layers on top for defense in
+//! depth.
 //!
 //! [`modexp_many`] extends the batch to arbitrarily many lanes by
 //! sharding into 64-lane groups fanned out with rayon, each shard on a
@@ -41,7 +51,7 @@
 //! serving path used by `mmm-rsa`'s batched sign/verify/decrypt.
 
 use crate::batch::MAX_LANES;
-use crate::config::{EngineConfig, WindowPolicy};
+use crate::config::{EngineConfig, HardeningMode, WindowPolicy};
 use crate::engine::EngineKind;
 use crate::error::{validate_reduced, MmmError};
 use crate::expo_window::best_fixed_window;
@@ -49,8 +59,24 @@ use crate::montgomery::MontgomeryParams;
 use crate::pool;
 use crate::traits::BatchMontMul;
 use crate::verify::{VerifiedEngine, VerifyContext};
+use mmm_bigint::ct::{or_assign_masked, Choice};
+use mmm_bigint::limbs::Limb;
 use mmm_bigint::Ubig;
 use rayon::prelude::*;
+
+/// Constant-time selection of `table[d][k]` into `buf`: zeroes the
+/// buffer, then visits **every** row of the batched power table,
+/// OR-accumulating `row[k] & mask` where the mask is all-ones only for
+/// the row whose (public) index equals the secret digit `d`. The loads
+/// performed — every row, every call — are independent of `d`, so the
+/// access pattern carries no digit information; `d` flows only through
+/// the branchless [`Choice::ct_eq_usize`] masks.
+fn ct_sweep_lane(table: &[Vec<Ubig>], k: usize, d: usize, buf: &mut [Limb]) {
+    buf.fill(0);
+    for (row_idx, row) in table.iter().enumerate() {
+        or_assign_masked(buf, row[k].limbs(), Choice::ct_eq_usize(row_idx, d));
+    }
+}
 
 /// The exponent inputs of one batched scan: either one exponent per
 /// lane or a single exponent shared by every lane (one RSA key, many
@@ -194,16 +220,29 @@ impl<E: BatchMontMul> BatchModExp<E> {
 
         // Square-and-multiply-always from the longest exponent down;
         // A starts at 1̄ so no per-lane leading-bit special case.
+        // Hardened engines force the multiply on every position (the
+        // skip would leak the OR of the lanes' bits) and select each
+        // lane's multiplier branchlessly.
         let t = es.iter().map(Ubig::bit_len).max().unwrap_or(0);
+        let hardened = self.engine.hardening().is_hardened();
+        let mut sel_buf = vec![0 as Limb; params.n().limbs().len() + 1];
         let mut a = vec![one_bar.clone(); lanes];
         let mut multiplier = vec![one_bar.clone(); lanes];
         for i in (0..t).rev() {
             a = self.engine.mont_mul_batch(&a, &a);
             self.stats.squarings += 1;
             self.stats.total_batch_muls += 1;
-            let mut any_set = false;
+            let mut any_set = hardened;
             for k in 0..lanes {
-                if es[k].bit(i) {
+                if hardened {
+                    // Two-way select between M̄_k and 1̄: the secret
+                    // bit drives masks, never control flow or indices.
+                    let c = Choice::from_bool(es[k].bit(i));
+                    sel_buf.fill(0);
+                    or_assign_masked(&mut sel_buf, mbars[k].limbs(), c);
+                    or_assign_masked(&mut sel_buf, one_bar.limbs(), !c);
+                    multiplier[k] = Ubig::from_limbs(sel_buf.clone());
+                } else if es[k].bit(i) {
                     multiplier[k].clone_from(&mbars[k]);
                     any_set = true;
                 } else {
@@ -223,6 +262,12 @@ impl<E: BatchMontMul> BatchModExp<E> {
         let ones = vec![Ubig::one(); lanes];
         let out = self.engine.mont_mul_batch(&a, &ones);
         self.stats.total_batch_muls += 1;
+        if hardened {
+            // The hardened engine already canonicalized (A ≡ 0 comes
+            // out as 0, not N), so the r == n compare — itself a
+            // result-dependent branch — never runs.
+            return Ok(out);
+        }
         Ok(out
             .into_iter()
             .map(|r| {
@@ -359,8 +404,21 @@ impl<E: BatchMontMul> BatchModExp<E> {
             }
         }
 
+        // Under hardening every table read — leading window included —
+        // is a branchless full-table sweep, and the skip-when-all-zero
+        // optimization is disabled: the schedule and the memory trace
+        // are identical for every exponent of the same length.
+        let hardened = self.engine.hardening().is_hardened();
+        let mut sel_buf = vec![0 as Limb; params.n().limbs().len() + 1];
         let mut a: Vec<Ubig> = if windows == 0 {
             vec![one_bar.clone(); lanes]
+        } else if hardened {
+            (0..lanes)
+                .map(|k| {
+                    ct_sweep_lane(&table, k, digit(k, windows - 1), &mut sel_buf);
+                    Ubig::from_limbs(sel_buf.clone())
+                })
+                .collect()
         } else {
             (0..lanes)
                 .map(|k| table[digit(k, windows - 1)][k].clone())
@@ -375,11 +433,16 @@ impl<E: BatchMontMul> BatchModExp<E> {
                 self.stats.squarings += 1;
                 self.stats.total_batch_muls += 1;
             }
-            let mut any_set = false;
+            let mut any_set = hardened;
             for (k, slot) in multiplier.iter_mut().enumerate() {
                 let d = digit(k, win);
-                any_set |= d != 0;
-                slot.clone_from(&table[d][k]);
+                if hardened {
+                    ct_sweep_lane(&table, k, d, &mut sel_buf);
+                    *slot = Ubig::from_limbs(sel_buf.clone());
+                } else {
+                    any_set |= d != 0;
+                    slot.clone_from(&table[d][k]);
+                }
             }
             if any_set {
                 self.engine
@@ -396,6 +459,11 @@ impl<E: BatchMontMul> BatchModExp<E> {
         let ones = vec![Ubig::one(); lanes];
         let out = self.engine.mont_mul_batch(&a, &ones);
         self.stats.total_batch_muls += 1;
+        if hardened {
+            // Canonical already (A ≡ 0 emerges as 0, not N) — the
+            // result-dependent r == n compare never runs.
+            return Ok(out);
+        }
         Ok(out
             .into_iter()
             .map(|r| {
@@ -479,6 +547,7 @@ pub fn modexp_many_with(
         MAX_LANES,
         WindowPolicy::Auto,
         &VerifyContext::inert(),
+        HardeningMode::Off,
     )
 }
 
@@ -509,13 +578,17 @@ pub fn try_modexp_many(
         config.shard_lanes(),
         config.window(),
         &config.verify_context(),
+        config.hardening(),
     ))
 }
 
 /// The shared sharding core of the per-lane-exponent many-path:
 /// inputs are assumed validated. Dispatch is quarantine-aware
 /// ([`Quarantine::effective_kind`]) and every shard engine runs behind
-/// the policy-gated [`VerifiedEngine`] self-check.
+/// the policy-gated [`VerifiedEngine`] self-check; under
+/// [`HardeningMode::Hardened`] each shard engine canonicalizes and the
+/// scan runs its constant-time schedule.
+#[allow(clippy::too_many_arguments)] // private sharding core; every knob is one dispatch input
 fn modexp_many_sharded(
     params: &MontgomeryParams,
     ms: &[Ubig],
@@ -524,6 +597,7 @@ fn modexp_many_sharded(
     shard_lanes: usize,
     window: WindowPolicy,
     ctx: &VerifyContext,
+    hardening: HardeningMode,
 ) -> Vec<Ubig> {
     let width = shard_lanes.clamp(1, MAX_LANES);
     let kind = ctx.quarantine.effective_kind(kind, params);
@@ -531,11 +605,9 @@ fn modexp_many_sharded(
     shards
         .into_par_iter()
         .map(|(sm, se)| {
-            let mut me = BatchModExp::new(VerifiedEngine::new(
-                pool::global().checkout_kind(params, kind),
-                kind,
-                ctx.clone(),
-            ));
+            let mut engine = pool::global().checkout_kind(params, kind);
+            engine.set_hardening(hardening);
+            let mut me = BatchModExp::new(VerifiedEngine::new(engine, kind, ctx.clone()));
             match window {
                 WindowPolicy::Auto => me.modexp_batch_auto(sm, se),
                 WindowPolicy::Fixed(w) => me.modexp_batch_windowed(sm, se, w),
@@ -574,6 +646,7 @@ pub fn modexp_many_shared_with(
         MAX_LANES,
         WindowPolicy::Auto,
         &VerifyContext::inert(),
+        HardeningMode::Off,
     )
 }
 
@@ -596,6 +669,7 @@ pub fn try_modexp_many_shared(
         config.shard_lanes(),
         config.window(),
         &config.verify_context(),
+        config.hardening(),
     ))
 }
 
@@ -604,6 +678,7 @@ pub fn try_modexp_many_shared(
 /// ([`crate::verify::Quarantine::effective_kind`]) and every shard
 /// engine runs behind
 /// the policy-gated [`VerifiedEngine`] self-check.
+#[allow(clippy::too_many_arguments)] // private sharding core; every knob is one dispatch input
 fn modexp_many_shared_sharded(
     params: &MontgomeryParams,
     ms: &[Ubig],
@@ -612,6 +687,7 @@ fn modexp_many_shared_sharded(
     shard_lanes: usize,
     window: WindowPolicy,
     ctx: &VerifyContext,
+    hardening: HardeningMode,
 ) -> Vec<Ubig> {
     let width = shard_lanes.clamp(1, MAX_LANES);
     let kind = ctx.quarantine.effective_kind(kind, params);
@@ -619,11 +695,9 @@ fn modexp_many_shared_sharded(
     shards
         .into_par_iter()
         .map(|sm| {
-            let mut me = BatchModExp::new(VerifiedEngine::new(
-                pool::global().checkout_kind(params, kind),
-                kind,
-                ctx.clone(),
-            ));
+            let mut engine = pool::global().checkout_kind(params, kind);
+            engine.set_hardening(hardening);
+            let mut me = BatchModExp::new(VerifiedEngine::new(engine, kind, ctx.clone()));
             match window {
                 WindowPolicy::Auto => me.modexp_batch_shared_auto(sm, e),
                 WindowPolicy::Fixed(w) => me.modexp_batch_shared_windowed(sm, e, w),
@@ -933,6 +1007,79 @@ mod tests {
             (nw as f64) < nb as f64 * 0.70,
             "windowed {nw} vs multiply-always {nb}"
         );
+    }
+
+    #[test]
+    fn hardened_scan_is_bit_identical_and_never_skips() {
+        use crate::config::HardeningMode;
+        let mut rng = StdRng::seed_from_u64(318);
+        let p = random_safe_params(&mut rng, 48);
+        let lanes = 6;
+        let ms: Vec<Ubig> = (0..lanes)
+            .map(|_| Ubig::random_below(&mut rng, p.n()))
+            .collect();
+        // Mixed exponent lengths, including zero and sparse values —
+        // the cases where the unhardened scan skips steps.
+        let es: Vec<Ubig> = vec![
+            Ubig::zero(),
+            Ubig::one(),
+            Ubig::from(0b1000_0001u64),
+            Ubig::random_bits(&mut rng, 13),
+            Ubig::random_bits(&mut rng, 48),
+            Ubig::from(65537u64),
+        ];
+        for kind in EngineKind::ALL {
+            let mut hard_engine = kind.build(p.clone());
+            hard_engine.set_hardening(HardeningMode::Hardened);
+            let mut hard = BatchModExp::new(hard_engine);
+            let mut plain = BatchModExp::new(kind.build(p.clone()));
+            // Binary scan: identical results, zero skipped steps.
+            assert_eq!(
+                hard.modexp_batch(&ms, &es),
+                plain.modexp_batch(&ms, &es),
+                "{} binary",
+                kind.name()
+            );
+            assert_eq!(hard.stats().skipped_multiplications, 0, "{}", kind.name());
+            assert!(plain.stats().skipped_multiplications > 0, "{}", kind.name());
+            // Windowed scan: identical results across widths.
+            for w in [1usize, 3, 4] {
+                let mut hw_engine = kind.build(p.clone());
+                hw_engine.set_hardening(HardeningMode::Hardened);
+                let mut hw = BatchModExp::new(hw_engine);
+                let mut pw = BatchModExp::new(kind.build(p.clone()));
+                assert_eq!(
+                    hw.modexp_batch_windowed(&ms, &es, w),
+                    pw.modexp_batch_windowed(&ms, &es, w),
+                    "{} w={w}",
+                    kind.name()
+                );
+                assert_eq!(
+                    hw.stats().skipped_multiplications,
+                    0,
+                    "{} w={w}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hardened_shared_scan_matches_per_lane() {
+        use crate::config::HardeningMode;
+        let mut rng = StdRng::seed_from_u64(319);
+        let p = random_safe_params(&mut rng, 40);
+        let ms: Vec<Ubig> = (0..5)
+            .map(|_| Ubig::random_below(&mut rng, p.n()))
+            .collect();
+        let e = Ubig::random_bits(&mut rng, 40);
+        let mut hard_engine = BitSlicedBatch::new(p.clone());
+        hard_engine.set_hardening(HardeningMode::Hardened);
+        let mut hard = BatchModExp::new(hard_engine);
+        let got = hard.modexp_batch_shared_auto(&ms, &e);
+        for k in 0..ms.len() {
+            assert_eq!(got[k], ms[k].modpow(&e, p.n()), "lane {k}");
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub mod wave_packed;
 pub use batch::BitSlicedBatch;
 pub use cios::{CiosBatch, CiosMont};
 pub use cios52::{Cios52Batch, Cios52Kernel};
-pub use config::{EngineConfig, WindowPolicy};
+pub use config::{EngineConfig, HardeningMode, WindowPolicy};
 pub use engine::{AnyBatchEngine, EngineKind};
 pub use error::{MmmError, OperandBound};
 pub use expo::ModExp;

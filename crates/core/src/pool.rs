@@ -391,6 +391,18 @@ impl BatchMontMul for PooledEngine {
         self.engine_mut().demote_kernel()
     }
 
+    fn set_hardening(&mut self, mode: crate::config::HardeningMode) {
+        // Unlike demotion, hardening is a per-loan property: checkout
+        // resets it to Off (`AnyBatchEngine::reset_loan_state`), so a
+        // hardened borrower never bleeds canonicalized outputs into an
+        // unhardened one sharing the pool.
+        self.engine_mut().set_hardening(mode);
+    }
+
+    fn hardening(&self) -> crate::config::HardeningMode {
+        self.engine_ref().hardening()
+    }
+
     fn name(&self) -> &'static str {
         self.engine_ref().name()
     }
@@ -576,6 +588,30 @@ mod tests {
         assert_eq!(second.consumed_cycles(), Some(0));
         let _ = second.mont_mul_batch(&xs, &xs);
         assert_eq!(second.consumed_cycles(), Some(per_batch));
+    }
+
+    #[test]
+    fn recycled_engine_does_not_inherit_hardening() {
+        use crate::config::HardeningMode;
+        let mut rng = StdRng::seed_from_u64(411);
+        let pool = EnginePool::new();
+        let p = random_safe_params(&mut rng, 18);
+        let xs: Vec<Ubig> = (0..4).map(|_| random_operand(&mut rng, &p)).collect();
+        {
+            let mut hardened = pool.checkout_kind(&p, EngineKind::Cios);
+            hardened.set_hardening(HardeningMode::Hardened);
+            for out in hardened.mont_mul_batch(&xs, &xs) {
+                assert!(out < *p.n(), "hardened loan canonicalizes");
+            }
+        }
+        // Same engine, next loan: back to the raw < 2N contract.
+        let mut plain = pool.checkout_kind(&p, EngineKind::Cios);
+        assert_eq!(pool.stats().engine_reuses, 1, "warm engine recycled");
+        assert_eq!(plain.hardening(), HardeningMode::Off);
+        let got = plain.mont_mul_batch(&xs, &xs);
+        for k in 0..4 {
+            assert_eq!(got[k], mont_mul_alg2(&p, &xs[k], &xs[k]));
+        }
     }
 
     #[test]

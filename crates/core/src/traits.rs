@@ -3,6 +3,7 @@
 //! fast wave model, the gate-level MMMC, and the baselines), so the
 //! exponentiator, RSA and ECC layers are engine-agnostic.
 
+use crate::config::HardeningMode;
 use crate::error::{validate_mont_batch, MmmError};
 use crate::montgomery::{mont_mul_alg2, MontgomeryParams};
 use mmm_bigint::Ubig;
@@ -82,6 +83,23 @@ pub trait BatchMontMul {
     /// step down), which single-implementation engines keep.
     fn demote_kernel(&mut self) -> bool {
         false
+    }
+
+    /// Switches the engine's constant-time hardening mode. Under
+    /// [`HardeningMode::Hardened`] the engine appends a branchless
+    /// canonicalizing final subtraction to every multiplication, so
+    /// outputs are fully reduced (`< N`) instead of the raw
+    /// Algorithm-2 `< 2N` band — the same *residue*, the canonical
+    /// representative, identically on every backend (DESIGN.md §12).
+    /// The default is a no-op for engines with no hardened path (the
+    /// research/reference engines).
+    fn set_hardening(&mut self, _mode: HardeningMode) {}
+
+    /// The engine's current hardening mode ([`HardeningMode::Off`]
+    /// unless [`BatchMontMul::set_hardening`] switched it and the
+    /// engine supports hardening).
+    fn hardening(&self) -> HardeningMode {
+        HardeningMode::Off
     }
 
     /// Engine name for reports and benchmarks.

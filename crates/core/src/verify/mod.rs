@@ -249,9 +249,8 @@ impl ResidueCheck {
         self.m
     }
 
-    /// True when `out` is consistent with `MonPro(x, y)` under the
-    /// mod-`m` shadow identity.
-    pub fn check_lane(&self, x: &Ubig, y: &Ubig, out: &Ubig) -> bool {
+    /// Both sides of the shadow identity, reduced mod `m`.
+    fn sides(&self, x: &Ubig, y: &Ubig, out: &Ubig) -> (u64, u64) {
         let xy = x.mul_ref(y);
         let quotient = xy
             .low_bits(self.r_bits)
@@ -262,7 +261,33 @@ impl ResidueCheck {
         let rhs = (mod_small(&xy, self.m) as u128
             + mod_small(&quotient, self.m) as u128 * self.n_mod_m as u128)
             % m;
+        (lhs as u64, rhs as u64)
+    }
+
+    /// True when `out` is consistent with `MonPro(x, y)` under the
+    /// mod-`m` shadow identity — the **strict** form matching the raw
+    /// Algorithm-2 output (`< 2N`, no final subtraction).
+    pub fn check_lane(&self, x: &Ubig, y: &Ubig, out: &Ubig) -> bool {
+        let (lhs, rhs) = self.sides(x, y, out);
         lhs == rhs
+    }
+
+    /// [`ResidueCheck::check_lane`] for **hardened** engines, whose
+    /// branchless final subtraction may have canonicalized the raw
+    /// value `t` to `t − N` (DESIGN.md §12). Both representatives of
+    /// the same residue are accepted: `out` itself, or `out + N`
+    /// (shifting the left side by `+N·R mod m`). Single-bit soundness
+    /// is preserved — a flip of bit `b` changes `out·R` by `±2^b·R`,
+    /// which matches neither accepted value unless `m | 2^b·R` or
+    /// `m | (2^b·R ± N·R)`; the first is impossible (odd prime `m`),
+    /// the second fails unless the key-dependent `N ≡ ∓2^b (mod m)` —
+    /// so at most one bit position per key degrades to ~2⁻³²
+    /// probabilistic coverage instead of certainty.
+    pub fn check_lane_hardened(&self, x: &Ubig, y: &Ubig, out: &Ubig) -> bool {
+        let (lhs, rhs) = self.sides(x, y, out);
+        let m = self.m as u128;
+        let shifted = ((lhs as u128 + self.n_mod_m as u128 * self.r_mod_m as u128) % m) as u64;
+        lhs == rhs || shifted == rhs
     }
 }
 
@@ -504,10 +529,22 @@ impl<E: BatchMontMul> VerifiedEngine<E> {
         if self.check.is_none() {
             self.check = Some(ResidueCheck::new(self.inner.params()));
         }
+        // A hardened engine canonicalizes (`< N`), so its outputs are
+        // judged by the two-representative form of the identity; the
+        // strict form would flag every lane the final subtraction
+        // actually fired on.
+        let hardened = self.inner.hardening().is_hardened();
+        let lane_ok = |check: &ResidueCheck, x: &Ubig, y: &Ubig, out: &Ubig| {
+            if hardened {
+                check.check_lane_hardened(x, y, out)
+            } else {
+                check.check_lane(x, y, out)
+            }
+        };
         let bad: Vec<usize> = {
             let check = self.check.as_ref().expect("installed above");
             (0..out.len())
-                .filter(|&k| !check.check_lane(&xs[k], &ys[k], &out[k]))
+                .filter(|&k| !lane_ok(check, &xs[k], &ys[k], &out[k]))
                 .collect()
         };
         if bad.is_empty() {
@@ -527,10 +564,18 @@ impl<E: BatchMontMul> VerifiedEngine<E> {
                 .pop()
                 .expect("one lane in, one lane out");
             let check = self.check.as_ref().expect("installed above");
-            out[k] = if check.check_lane(&xs[k], &ys[k], &redo) {
+            out[k] = if lane_ok(check, &xs[k], &ys[k], &redo) {
                 redo
             } else {
-                mont_mul_alg2(&params, &xs[k], &ys[k])
+                // The scalar oracle emits the raw < 2N value; a
+                // hardened borrower expects the canonical < N
+                // representative, so match the engine's contract.
+                let oracle = mont_mul_alg2(&params, &xs[k], &ys[k]);
+                if hardened {
+                    mmm_bigint::ct::ct_reduce_once(&oracle, params.n())
+                } else {
+                    oracle
+                }
             };
             self.ctx.quarantine.record_correction();
         }
@@ -563,6 +608,14 @@ impl<E: BatchMontMul> BatchMontMul for VerifiedEngine<E> {
 
     fn demote_kernel(&mut self) -> bool {
         self.inner.demote_kernel()
+    }
+
+    fn set_hardening(&mut self, mode: crate::config::HardeningMode) {
+        self.inner.set_hardening(mode);
+    }
+
+    fn hardening(&self) -> crate::config::HardeningMode {
+        self.inner.hardening()
     }
 
     fn name(&self) -> &'static str {
@@ -785,6 +838,76 @@ mod tests {
         // its injected flip.
         assert_eq!(ctx.quarantine.stats().corrected, calls as u64 / one_in);
         assert_eq!(ctx.faults.mont_flips_fired(), calls as u64);
+    }
+
+    #[test]
+    fn hardened_check_accepts_both_representatives_and_flags_flips() {
+        let mut rng = StdRng::seed_from_u64(0x12AD);
+        let params = random_safe_params(&mut rng, 64);
+        let check = ResidueCheck::new(&params);
+        for _ in 0..20 {
+            let x = random_operand(&mut rng, &params);
+            let y = random_operand(&mut rng, &params);
+            let raw = mont_mul_alg2(&params, &x, &y);
+            let canonical = raw.rem(params.n());
+            assert!(check.check_lane_hardened(&x, &y, &raw));
+            assert!(check.check_lane_hardened(&x, &y, &canonical));
+            if raw >= *params.n() {
+                // The strict form rejects the canonicalized value —
+                // exactly why hardened engines need this variant.
+                assert!(!check.check_lane(&x, &y, &canonical));
+            }
+        }
+        // Corruption is still caught (up to the one key-dependent bit
+        // position documented on check_lane_hardened).
+        let x = random_operand(&mut rng, &params);
+        let y = random_operand(&mut rng, &params);
+        let out = mont_mul_alg2(&params, &x, &y).rem(params.n());
+        let mut missed = 0usize;
+        for bit in 0..(params.l() + 2) {
+            let mut corrupted = out.clone();
+            let cur = corrupted.bit(bit);
+            corrupted.set_bit(bit, !cur);
+            if check.check_lane_hardened(&x, &y, &corrupted) {
+                missed += 1;
+            }
+        }
+        assert!(missed <= 1, "at most one degraded bit position per key");
+    }
+
+    #[test]
+    fn verified_engine_corrects_corruption_under_hardening() {
+        use crate::config::HardeningMode;
+        let mut rng = StdRng::seed_from_u64(0x12AE);
+        let params = random_safe_params(&mut rng, 64);
+        for kind in EngineKind::ALL {
+            let ctx = VerifyContext {
+                policy: VerifyPolicy::Full,
+                faults: Arc::new(CorruptionPlan::default()),
+                quarantine: Arc::new(Quarantine::new()),
+            };
+            let mut inner = kind.build(params.clone());
+            inner.set_hardening(HardeningMode::Hardened);
+            let mut engine = VerifiedEngine::new(inner, kind, ctx.clone());
+            assert_eq!(engine.hardening(), HardeningMode::Hardened);
+            let xs: Vec<Ubig> = (0..4).map(|_| random_operand(&mut rng, &params)).collect();
+            let ys: Vec<Ubig> = (0..4).map(|_| random_operand(&mut rng, &params)).collect();
+            let want: Vec<Ubig> = xs
+                .iter()
+                .zip(&ys)
+                .map(|(x, y)| mont_mul_alg2(&params, x, y).rem(params.n()))
+                .collect();
+            // Clean hardened batches pass the reduced check untouched.
+            let got = engine.mont_mul_batch(&xs, &ys);
+            assert_eq!(got, want, "{}", kind.name());
+            assert_eq!(ctx.quarantine.stats().violations, 0, "{}", kind.name());
+            // An injected flip is caught and corrected to the
+            // *canonical* representative.
+            ctx.faults.inject_mont_mul_flip(1, 9, 1);
+            let got = engine.mont_mul_batch(&xs, &ys);
+            assert_eq!(got, want, "{}: corrected lane stays canonical", kind.name());
+            assert!(ctx.quarantine.stats().corrected >= 1, "{}", kind.name());
+        }
     }
 
     #[test]

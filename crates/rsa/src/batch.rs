@@ -33,8 +33,8 @@ use mmm_core::montgomery::MontgomeryParams;
 use mmm_core::pool;
 use mmm_core::verify::faults::inert_plan;
 use mmm_core::{
-    BatchModExp, EngineConfig, EngineKind, MmmError, VerifiedEngine, VerifyContext, VerifyPolicy,
-    WindowPolicy,
+    BatchModExp, BatchMontMul, EngineConfig, EngineKind, MmmError, VerifiedEngine, VerifyContext,
+    VerifyPolicy, WindowPolicy,
 };
 use rayon::prelude::*;
 
@@ -242,11 +242,12 @@ fn crt_halves(plan: &CrtPlan<'_>, cs: &[Ubig], kind: EngineKind, ctx: &VerifyCon
         .map(|(shard, params, d)| {
             let mut residues: Vec<Ubig> = shard.iter().map(|c| c.rem(params.n())).collect();
             ctx.faults.corrupt_param_residue(&mut residues, params.n());
-            let mut me = BatchModExp::new(VerifiedEngine::new(
-                plan.pool.checkout_kind(params, kind),
-                kind,
-                ctx.clone(),
-            ));
+            let mut engine = plan.pool.checkout_kind(params, kind);
+            // Under MMM_HARDENED the half-width scans run the
+            // constant-time schedule (full-table sweeps, no skips,
+            // canonicalizing engines) — see DESIGN.md §12.
+            engine.set_hardening(plan.config.hardening());
+            let mut me = BatchModExp::new(VerifiedEngine::new(engine, kind, ctx.clone()));
             let mut half = match plan.config.window() {
                 WindowPolicy::Auto => me.modexp_batch_shared_auto(&residues, d),
                 WindowPolicy::Fixed(w) => me.modexp_batch_shared_windowed(&residues, d, w),

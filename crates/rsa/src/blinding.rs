@@ -1,0 +1,283 @@
+//! Message and exponent blinding for the hardened CRT decryption path
+//! (DESIGN.md §12).
+//!
+//! Even with the constant-time scan and branchless final subtractions
+//! of [`HardeningMode::Hardened`](mmm_core::HardeningMode), defense in
+//! depth wants the *values* flowing through the exponentiation
+//! decorrelated from the attacker-chosen ciphertext. Blinding does
+//! that at the protocol level:
+//!
+//! * **Message blinding** — for a secret random `r`, decrypt
+//!   `c′ = c·r^E mod N` instead of `c`. The result is `m′ = m·r mod N`
+//!   (because `(c·r^E)^D = c^D·r^{ED} = m·r`), which is unblinded by
+//!   one multiplication with `r⁻¹`. Every intermediate the scan
+//!   touches is now a function of `(c, r)` with `r` unknown to the
+//!   attacker, so correlating execution time or reuse patterns against
+//!   chosen ciphertexts stops working.
+//! * **Exponent blinding** — scan `d_p + k_p·(p−1)` and
+//!   `d_q + k_q·(q−1)` for fresh random 32-bit `k_p`, `k_q` instead of
+//!   the fixed CRT exponents (Fermat: `x^{p−1} ≡ 1 mod p`, so the
+//!   result is unchanged). The *sequence of window digits* then varies
+//!   per flush even for identical ciphertexts.
+//!
+//! The blinding pair is cached per session and **refreshed by
+//! squaring** on every use (`r → r²` maps `(r^E, r⁻¹)` to
+//! `((r^E)², (r⁻¹)²)` — two modular squarings, no fresh inversion),
+//! with a full regeneration from fresh randomness every
+//! [`REGENERATE_EVERY`] uses so the pair never degenerates into a
+//! long-lived secret of its own. This is the classic
+//! square-and-refresh schedule used by production RSA implementations.
+//!
+//! ## Randomness caveat
+//!
+//! The workspace's vendored `rand` has no OS entropy source, so seeds
+//! come from [`entropy_seed`]: a hash of wall-clock nanoseconds, the
+//! process id, and a process-wide counter. That is **not** a CSPRNG —
+//! it is unpredictable enough to exercise and benchmark the blinding
+//! machinery, and the seam to replace with `OsRng` when this moves
+//! beyond a simulator. The soundness of the *masking algebra* (the
+//! part this crate tests) is independent of seed quality.
+//!
+//! ## Example
+//!
+//! Sessions built with [`HardeningMode::Hardened`](mmm_core::HardeningMode)
+//! do all of this automatically inside `decrypt_crt`; the state is also
+//! usable directly:
+//!
+//! ```
+//! use mmm_bigint::Ubig;
+//! use mmm_rsa::blinding::BlindingState;
+//! use mmm_rsa::RsaKeyPair;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let key = RsaKeyPair::generate(&mut rng, 48, 8);
+//! let state = BlindingState::new(key.n.clone(), key.e.clone());
+//!
+//! let m = Ubig::from(12345u64);
+//! let c = m.modpow(&key.e, &key.n);
+//!
+//! // Blind, decrypt the blinded ciphertext, unblind — same plaintext.
+//! let ticket = state.ticket();
+//! let blinded = ticket.blind(&[c.clone()], &key.n);
+//! assert_ne!(blinded[0], c); // the scan never sees the raw ciphertext
+//! let mut ms = vec![blinded[0].modpow(&key.d, &key.n)];
+//! ticket.unblind(&mut ms, &key.n);
+//! assert_eq!(ms[0], m);
+//! ```
+
+use mmm_bigint::Ubig;
+use mmm_core::pool::lock_unpoisoned;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Uses of one blinding pair before a full regeneration replaces the
+/// square-and-refresh schedule with fresh randomness.
+pub const REGENERATE_EVERY: u32 = 32;
+
+/// A seed mixing wall-clock nanoseconds, the process id, and a
+/// process-wide counter through splitmix64 — the best entropy the
+/// vendored (OS-entropy-free) `rand` setup allows; see the module docs
+/// for the caveat. Distinct per call even within one nanosecond tick.
+pub fn entropy_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = nanos
+        ^ (std::process::id() as u64).rotate_left(32)
+        ^ COUNTER
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // splitmix64 finalizer.
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One blinding pair: `vf = r^E mod N` (the mask applied to incoming
+/// ciphertexts) and `vi = r⁻¹ mod N` (the unmask applied to outgoing
+/// plaintexts), plus the refresh bookkeeping.
+#[derive(Debug, Clone)]
+struct BlindingPair {
+    vf: Ubig,
+    vi: Ubig,
+    uses: u32,
+}
+
+impl BlindingPair {
+    /// A fresh pair from fresh randomness: draws `r` until it is
+    /// invertible mod `N` (for an RSA modulus a non-invertible draw
+    /// means the key is factored — in practice the first draw wins).
+    fn generate(n: &Ubig, e: &Ubig, rng: &mut StdRng) -> Self {
+        loop {
+            let r = Ubig::random_below(rng, n);
+            if let Some(vi) = r.modinv(n) {
+                if !r.is_zero() {
+                    return BlindingPair {
+                        vf: r.modpow(e, n),
+                        vi,
+                        uses: 0,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Per-session blinding state: the cached pair behind a mutex (one
+/// session may be flushed from several worker threads) and the seeded
+/// generator for regenerations and exponent-blinding factors.
+#[derive(Debug)]
+pub struct BlindingState {
+    n: Ubig,
+    e: Ubig,
+    inner: Mutex<BlindingInner>,
+}
+
+#[derive(Debug)]
+struct BlindingInner {
+    pair: BlindingPair,
+    rng: StdRng,
+}
+
+/// Everything one blinded batch needs, checked out under the lock and
+/// used lock-free: the masks to apply, and the fresh exponent-blinding
+/// multipliers for this flush.
+#[derive(Debug, Clone)]
+pub struct BlindingTicket {
+    /// `r^E mod N` — multiply each ciphertext by this before the scan.
+    pub vf: Ubig,
+    /// `r⁻¹ mod N` — multiply each plaintext by this after the scan.
+    pub vi: Ubig,
+    /// Fresh 32-bit multiplier for `d_p + k_p·(p−1)`.
+    pub kp: u64,
+    /// Fresh 32-bit multiplier for `d_q + k_q·(q−1)`.
+    pub kq: u64,
+}
+
+impl BlindingState {
+    /// Builds the state for a key (modulus `n`, public exponent `e`),
+    /// generating the initial pair from [`entropy_seed`].
+    pub fn new(n: Ubig, e: Ubig) -> Self {
+        let mut rng = StdRng::seed_from_u64(entropy_seed());
+        let pair = BlindingPair::generate(&n, &e, &mut rng);
+        BlindingState {
+            n,
+            e,
+            inner: Mutex::new(BlindingInner { pair, rng }),
+        }
+    }
+
+    /// Checks out the masks for one batch and advances the refresh
+    /// schedule: the returned pair is used as-is, then the cached pair
+    /// is squared (`r → r²`) — or fully regenerated every
+    /// [`REGENERATE_EVERY`] uses.
+    pub fn ticket(&self) -> BlindingTicket {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let ticket = BlindingTicket {
+            vf: inner.pair.vf.clone(),
+            vi: inner.pair.vi.clone(),
+            kp: inner.rng.gen::<u32>() as u64,
+            kq: inner.rng.gen::<u32>() as u64,
+        };
+        inner.pair.uses += 1;
+        if inner.pair.uses >= REGENERATE_EVERY {
+            let fresh = BlindingPair::generate(&self.n, &self.e, &mut inner.rng);
+            inner.pair = fresh;
+        } else {
+            inner.pair.vf = inner.pair.vf.modmul(&inner.pair.vf.clone(), &self.n);
+            inner.pair.vi = inner.pair.vi.modmul(&inner.pair.vi.clone(), &self.n);
+        }
+        ticket
+    }
+}
+
+impl BlindingTicket {
+    /// Applies the message mask: `c → c·vf mod N` per lane.
+    pub fn blind(&self, cs: &[Ubig], n: &Ubig) -> Vec<Ubig> {
+        cs.iter().map(|c| c.modmul(&self.vf, n)).collect()
+    }
+
+    /// Removes the mask from decrypted plaintexts: `m′ → m′·vi mod N`
+    /// per lane (in place, preserving order).
+    pub fn unblind(&self, ms: &mut [Ubig], n: &Ubig) {
+        for m in ms.iter_mut() {
+            *m = m.modmul(&self.vi, n);
+        }
+    }
+
+    /// The exponent-blinded CRT exponent `d + k·(group_order)` — e.g.
+    /// `d_p + k_p·(p−1)`; same residue class mod the group order, so
+    /// the scan result is unchanged while the digit sequence varies.
+    pub fn blinded_exponent(&self, d: &Ubig, group_order: &Ubig, k: u64) -> Ubig {
+        d.add_ref(&group_order.mul_ref(&Ubig::from(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::RsaKeyPair;
+
+    fn key() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(1234);
+        RsaKeyPair::generate(&mut rng, 48, 12)
+    }
+
+    #[test]
+    fn pair_satisfies_masking_algebra() {
+        let kp = key();
+        let state = BlindingState::new(kp.n.clone(), kp.e.clone());
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..REGENERATE_EVERY + 3 {
+            let t = state.ticket();
+            // vf·(vi^E) ≡ r^E·r^{-E} ≡ 1: the pair stays consistent
+            // across squarings and regenerations.
+            let vie = t.vi.modpow(&kp.e, &kp.n);
+            assert_eq!(t.vf.modmul(&vie, &kp.n), Ubig::one());
+            // Round trip: blind, decrypt textbook, unblind.
+            let m = Ubig::random_below(&mut rng, &kp.n);
+            let c = m.modpow(&kp.e, &kp.n);
+            let blinded = t.blind(std::slice::from_ref(&c), &kp.n);
+            let mut mp = vec![blinded[0].modpow(&kp.d, &kp.n)];
+            t.unblind(&mut mp, &kp.n);
+            assert_eq!(mp[0], m);
+        }
+    }
+
+    #[test]
+    fn tickets_vary_between_uses() {
+        let kp = key();
+        let state = BlindingState::new(kp.n.clone(), kp.e.clone());
+        let a = state.ticket();
+        let b = state.ticket();
+        assert_ne!(a.vf, b.vf, "refresh must change the mask");
+        assert_ne!((a.kp, a.kq), (b.kp, b.kq));
+    }
+
+    #[test]
+    fn blinded_exponent_preserves_residue_class() {
+        let kp = key();
+        let t = BlindingState::new(kp.n.clone(), kp.e.clone()).ticket();
+        let p1 = &kp.p - &Ubig::one();
+        let dp2 = t.blinded_exponent(&kp.dp, &p1, t.kp);
+        assert_ne!(dp2, kp.dp, "the scanned digit sequence changes");
+        assert_eq!(dp2.rem(&p1), kp.dp.rem(&p1), "the result does not");
+        // Fermat in action: same half-result mod p.
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = Ubig::random_below(&mut rng, &kp.p);
+        assert_eq!(c.modpow(&dp2, &kp.p), c.modpow(&kp.dp, &kp.p));
+    }
+
+    #[test]
+    fn entropy_seeds_are_distinct() {
+        let a = entropy_seed();
+        let b = entropy_seed();
+        assert_ne!(a, b, "counter guarantees distinctness within a tick");
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod blinding;
 pub mod cipher;
 pub mod keys;
 pub mod serve;
@@ -38,5 +39,7 @@ pub use serve::{FaultPlan, KeyId, ServeStats, Server, ServerBuilder, Ticket};
 pub use server::{BatchCollector, BatchOp, KeyedSession};
 pub use signing::{decrypt_blinded, sign, verify};
 
+pub use blinding::{BlindingState, BlindingTicket};
+
 pub use mmm_core::traits::{BatchMontMul, MontMul};
-pub use mmm_core::{EngineConfig, EngineKind, MmmError, WindowPolicy};
+pub use mmm_core::{EngineConfig, EngineKind, HardeningMode, MmmError, WindowPolicy};

@@ -30,6 +30,7 @@
 //! `MMM_POOL_KEYS` environment overrides.
 
 use crate::batch::decrypt_crt_core;
+use crate::blinding::BlindingState;
 use crate::keys::RsaKeyPair;
 use mmm_bigint::Ubig;
 use mmm_core::error::OperandBound;
@@ -37,6 +38,7 @@ use mmm_core::expo_batch::try_modexp_many_shared;
 use mmm_core::montgomery::MontgomeryParams;
 use mmm_core::pool;
 use mmm_core::{EngineConfig, EngineKind, MmmError};
+use std::sync::Arc;
 
 /// A serving session bound to one RSA key: owns the key, its pooled
 /// Montgomery parameters for `N` and both CRT primes, and the engine
@@ -74,6 +76,11 @@ pub struct KeyedSession {
     /// Pooled parameters for the CRT primes.
     pparams: MontgomeryParams,
     qparams: MontgomeryParams,
+    /// Message/exponent blinding for CRT decryption — `Some` exactly
+    /// when the config runs [`mmm_core::HardeningMode::Hardened`].
+    /// Shared across clones so the square-and-refresh schedule
+    /// advances globally per session, not per handle.
+    blinding: Option<Arc<BlindingState>>,
 }
 
 impl KeyedSession {
@@ -99,12 +106,17 @@ impl KeyedSession {
         for ps in [&params, &pparams, &qparams] {
             drop(pool.try_checkout_kind(ps, config.backend())?);
         }
+        let blinding = config
+            .hardening()
+            .is_hardened()
+            .then(|| Arc::new(BlindingState::new(key.n.clone(), key.e.clone())));
         Ok(KeyedSession {
             key,
             config,
             params,
             pparams,
             qparams,
+            blinding,
         })
     }
 
@@ -168,8 +180,42 @@ impl KeyedSession {
     /// lane is retried once on a weaker backend, and an uncorrectable
     /// lane surfaces as [`MmmError::IntegrityViolation`] instead of a
     /// faulty (key-leaking) plaintext.
+    ///
+    /// Under [`mmm_core::HardeningMode::Hardened`] (builder or
+    /// `MMM_HARDENED=1`) the batch additionally runs **blinded**: each
+    /// ciphertext is masked as `c·r^E mod N` before the scans, the CRT
+    /// exponents are randomized as `d_p + k_p(p−1)` / `d_q + k_q(q−1)`
+    /// (same results, different digit sequences), and plaintexts are
+    /// unmasked with `r⁻¹` before return — see [`crate::blinding`].
+    /// Results remain bit-identical to the unblinded run.
     pub fn decrypt_crt(&self, cs: &[Ubig]) -> Result<Vec<Ubig>, MmmError> {
-        decrypt_crt_core(&self.key, &self.pparams, &self.qparams, cs, &self.config)
+        let Some(state) = &self.blinding else {
+            return decrypt_crt_core(&self.key, &self.pparams, &self.qparams, cs, &self.config);
+        };
+        // Validate *before* blinding so OperandOutOfRange still names
+        // the offending lane by its original value (blinding would
+        // wrap an out-of-range c into range and silently "accept" it).
+        if let Some(lane) = cs.iter().position(|c| *c >= self.key.n) {
+            return Err(MmmError::OperandOutOfRange {
+                lane,
+                bound: OperandBound::N,
+            });
+        }
+        let ticket = state.ticket();
+        let blinded = ticket.blind(cs, &self.key.n);
+        // Exponent-blind a per-flush copy of the key: the masked
+        // exponents land in the same residue class mod p−1 / q−1, so
+        // Garner recombination and verify-before-release (which
+        // re-encrypts with the unchanged public E against the blinded
+        // ciphertexts: (m·r)^E = c·r^E = c′) are both untouched.
+        let mut bkey = self.key.clone();
+        let p1 = &self.key.p - &Ubig::one();
+        let q1 = &self.key.q - &Ubig::one();
+        bkey.dp = ticket.blinded_exponent(&self.key.dp, &p1, ticket.kp);
+        bkey.dq = ticket.blinded_exponent(&self.key.dq, &q1, ticket.kq);
+        let mut ms = decrypt_crt_core(&bkey, &self.pparams, &self.qparams, &blinded, &self.config)?;
+        ticket.unblind(&mut ms, &self.key.n);
+        Ok(ms)
     }
 
     /// A fresh [`BatchCollector`] aggregating individually submitted

@@ -23,6 +23,10 @@
 //!                                                         # integrity smoke: measures the Off-vs-Full
 //!                                                         # verify-before-release tax and proves an
 //!                                                         # injected corruption is corrected in-flight
+//! cargo run --release --example batch_server -- --quick --hardened
+//!                                                         # constant-time smoke: measures the
+//!                                                         # Off-vs-Hardened serving tax and proves the
+//!                                                         # blinded hardened path stays bit-exact
 //! ```
 //!
 //! The full (non-`--quick`) sweep also measures the
@@ -40,7 +44,7 @@ use montgomery_systolic::bigint::Ubig;
 use montgomery_systolic::core::cios52::Cios52Kernel;
 use montgomery_systolic::core::verify::faults::CorruptionPlan;
 use montgomery_systolic::core::verify::{Quarantine, VerifyPolicy};
-use montgomery_systolic::core::{EngineConfig, EngineKind, MmmError};
+use montgomery_systolic::core::{EngineConfig, EngineKind, HardeningMode, MmmError};
 use montgomery_systolic::rsa::{BatchOp, KeyId, KeyedSession, RsaKeyPair, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,11 +72,15 @@ fn main() -> Result<(), MmmError> {
     let quick = args.iter().any(|a| a == "--quick");
     let faults = args.iter().any(|a| a == "--faults");
     let verify = args.iter().any(|a| a == "--verify");
+    let hardened = args.iter().any(|a| a == "--hardened");
     if faults {
         return fault_smoke();
     }
     if verify {
         return verify_smoke(quick);
+    }
+    if hardened {
+        return hardened_smoke(quick);
     }
     sweep(quick)
 }
@@ -232,6 +240,105 @@ fn verify_tax(
     })
 }
 
+/// The measured cost of the constant-time serving mode: CRT decrypt
+/// ops/s, `HardeningMode::Off` vs `Hardened` (constant-time scans,
+/// canonicalizing engines, message + exponent blinding) on the same
+/// key/backend.
+struct HardeningTax {
+    off_ops: f64,
+    hardened_ops: f64,
+    tax_pct: f64,
+}
+
+/// Measures the hardening tax with the same interleaved best-of-round
+/// discipline as [`verify_tax`], so host drift hits both modes
+/// equally.
+fn hardening_tax(
+    key: &RsaKeyPair,
+    base: &EngineConfig,
+    pool: &[(Ubig, Ubig)],
+    reps: usize,
+) -> Result<HardeningTax, MmmError> {
+    let shard: Vec<Ubig> = pool
+        .iter()
+        .cycle()
+        .take(base.shard_lanes())
+        .map(|(_, c)| c.clone())
+        .collect();
+    let sessions = [
+        KeyedSession::new(key.clone(), base.clone().with_hardening(HardeningMode::Off))?,
+        KeyedSession::new(
+            key.clone(),
+            base.clone().with_hardening(HardeningMode::Hardened),
+        )?,
+    ];
+    for s in &sessions {
+        s.decrypt_crt(&shard)?; // warm the pool
+    }
+    let mut best = [0.0f64; 2];
+    const ROUNDS: usize = 4;
+    for _ in 0..ROUNDS {
+        for (i, s) in sessions.iter().enumerate() {
+            best[i] = best[i].max(crt_round_ops_s(s, &shard, reps)?);
+        }
+    }
+    let [off_ops, hardened_ops] = best;
+    Ok(HardeningTax {
+        off_ops,
+        hardened_ops,
+        tax_pct: (1.0 - hardened_ops / off_ops) * 100.0,
+    })
+}
+
+/// The CI hardened-mode smoke (`--hardened`): measures the
+/// Off-vs-Hardened serving tax, then drives live traffic through a
+/// fully hardened [`Server`] (constant-time scans + blinding on every
+/// flush) asserting bit-exact responses — the constant-time schedule
+/// must be invisible in the results.
+fn hardened_smoke(quick: bool) -> Result<(), MmmError> {
+    let bits = if quick { 256 } else { 1024 };
+    let mut rng = StdRng::seed_from_u64(0xC7C7);
+    println!("hardened smoke: generating a {bits}-bit RSA key...");
+    let key = RsaKeyPair::generate(&mut rng, bits, 16);
+    let pool = traffic(&key, 0xC7C8, 64);
+    let base = EngineConfig::default();
+    let reps = if quick { 2 } else { 3 };
+    let tax = hardening_tax(&key, &base, &pool, reps)?;
+    println!(
+        "hardening tax (l={bits}, backend {}): off {:.0} ops/s, hardened {:.0} ops/s ({:.1}%)",
+        base.backend().name(),
+        tax.off_ops,
+        tax.hardened_ops,
+        tax.tax_pct
+    );
+
+    let config = base
+        .with_hardening(HardeningMode::Hardened)
+        .with_flush_deadline(Duration::from_millis(1));
+    let mut builder = Server::builder(config);
+    let id = builder.add_key(key.clone())?;
+    let server = builder.build()?;
+    let requests = traffic(&key, 0xC7C9, 24);
+    let mut admitted = Vec::new();
+    for (m, c) in &requests {
+        admitted.push((
+            server.submit(id, BatchOp::DecryptCrt, c.clone(), Duration::from_secs(30))?,
+            m,
+        ));
+    }
+    for (ticket, m) in admitted {
+        assert_eq!(&ticket.wait()?, m, "hardened serving must stay bit-exact");
+    }
+    let stats = server.stats();
+    println!(
+        "hardened smoke: contract held — {} served bit-exact through the blinded \
+         constant-time path",
+        stats.completed_ok
+    );
+    server.shutdown();
+    Ok(())
+}
+
 fn sweep(quick: bool) -> Result<(), MmmError> {
     let (bits, point_secs, rate_mults): (usize, f64, &[f64]) = if quick {
         (256, 0.25, &[0.5, 1.5])
@@ -315,6 +422,15 @@ fn sweep(quick: bool) -> Result<(), MmmError> {
     // The verification tax at the headline size, on the default
     // backend — the numbers DESIGN.md §11's cost table quotes.
     let tax = verify_tax(&key, &base, &pool, 3)?;
+    // And the constant-time hardening tax — DESIGN.md §12 / README.
+    let htax = hardening_tax(&key, &base, &pool, 3)?;
+    println!(
+        "\nhardening tax (l={bits}, backend {}): off {:.0} ops/s, hardened {:.0} ops/s ({:.1}%)",
+        base.backend().name(),
+        htax.off_ops,
+        htax.hardened_ops,
+        htax.tax_pct
+    );
     println!(
         "\nverification tax (l={bits}, backend {}): off {:.0} ops/s, \
          verify-before-release {:.0} ops/s ({:.1}%), full {:.0} ops/s ({:.1}%)",
@@ -364,13 +480,21 @@ fn sweep(quick: bool) -> Result<(), MmmError> {
     json.push_str(&format!(
         "  ],\n  \"verify\": {{\"backend\": \"{}\", \"crt_off_ops_s\": {:.0}, \
          \"crt_sampled_ops_s\": {:.0}, \"sampled_tax_pct\": {:.1}, \
-         \"crt_full_ops_s\": {:.0}, \"full_tax_pct\": {:.1}}}\n}}\n",
+         \"crt_full_ops_s\": {:.0}, \"full_tax_pct\": {:.1}}},\n",
         base.backend().name(),
         tax.off_ops,
         tax.sampled_ops,
         tax.sampled_tax_pct,
         tax.full_ops,
         tax.full_tax_pct
+    ));
+    json.push_str(&format!(
+        "  \"hardening\": {{\"backend\": \"{}\", \"crt_off_ops_s\": {:.0}, \
+         \"crt_hardened_ops_s\": {:.0}, \"hardened_tax_pct\": {:.1}}}\n}}\n",
+        base.backend().name(),
+        htax.off_ops,
+        htax.hardened_ops,
+        htax.tax_pct
     ));
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("\nwrote BENCH_serving.json (saturation {saturation:.0} ops/s on this host)");
