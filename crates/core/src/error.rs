@@ -123,6 +123,24 @@ pub enum MmmError {
         /// Index of the corrupted lane in the caller's input slice.
         lane: usize,
     },
+    /// An affine point does not satisfy its curve equation
+    /// `y² = x³ + ax + b (mod p)` — the ECC tenant's input rejection
+    /// (a malformed or maliciously crafted public key must bounce as a
+    /// value, never enter the scalar-multiplication pipeline).
+    PointNotOnCurve {
+        /// Index of the offending point in the caller's input slice
+        /// (0 for single-point constructors).
+        lane: usize,
+    },
+    /// The short-Weierstrass discriminant `4a³ + 27b²` vanishes: the
+    /// "curve" is singular and its point set is not a group.
+    SingularCurve,
+    /// An ECC scalar outside `[1, group order)` — e.g. an ECDH private
+    /// key of 0, which would map every peer key to the identity.
+    ScalarOutOfRange {
+        /// Index of the offending scalar in the caller's input slice.
+        lane: usize,
+    },
 }
 
 impl std::fmt::Display for MmmError {
@@ -180,6 +198,13 @@ impl std::fmt::Display for MmmError {
                     f,
                     "lane {lane}: integrity violation — corrupted result withheld"
                 )
+            }
+            MmmError::PointNotOnCurve { lane } => {
+                write!(f, "lane {lane}: point not on curve")
+            }
+            MmmError::SingularCurve => write!(f, "singular curve (4a³ + 27b² ≡ 0)"),
+            MmmError::ScalarOutOfRange { lane } => {
+                write!(f, "lane {lane}: scalar must be in [1, group order)")
             }
         }
     }
@@ -289,6 +314,16 @@ mod tests {
             (
                 MmmError::IntegrityViolation { lane: 5 },
                 "lane 5: integrity violation",
+            ),
+            // The solo mmm-ecc constructors panicked with "point not
+            // on curve" / "singular curve"; their fallible twins'
+            // Display texts keep those substrings so the historical
+            // `#[should_panic]` expectations still match.
+            (MmmError::PointNotOnCurve { lane: 0 }, "not on curve"),
+            (MmmError::SingularCurve, "singular"),
+            (
+                MmmError::ScalarOutOfRange { lane: 2 },
+                "lane 2: scalar must be in [1, group order)",
             ),
         ];
         for (err, needle) in cases {

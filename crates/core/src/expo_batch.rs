@@ -57,6 +57,7 @@ use crate::error::{validate_reduced, MmmError};
 use crate::expo_window::best_fixed_window;
 use crate::montgomery::MontgomeryParams;
 use crate::pool;
+use crate::scan::{run_windowed_scan, ScalarSet, WindowScanClient};
 use crate::traits::BatchMontMul;
 use crate::verify::{VerifiedEngine, VerifyContext};
 use mmm_bigint::ct::{or_assign_masked, Choice};
@@ -78,33 +79,71 @@ fn ct_sweep_lane(table: &[Vec<Ubig>], k: usize, d: usize, buf: &mut [Limb]) {
     }
 }
 
-/// The exponent inputs of one batched scan: either one exponent per
-/// lane or a single exponent shared by every lane (one RSA key, many
-/// requests). The shared form exists so the serving path never
-/// materializes 64 clones of a private exponent per shard just to
-/// satisfy a per-lane signature.
-enum ExpSet<'a> {
-    /// `es[k]` drives lane `k`.
-    PerLane(&'a [Ubig]),
-    /// One exponent drives every lane.
-    Shared(&'a Ubig),
+/// The modexp workload plugged into the lifted scan core
+/// ([`crate::scan::run_windowed_scan`]): the accumulator is a batch of
+/// Montgomery residues, doubling is a batched squaring, combining is a
+/// multiply-always batched multiplication against the power table.
+/// Digit selection stays in here — direct table indexing when plain, a
+/// branchless full-table sweep ([`ct_sweep_lane`]) when hardened — so
+/// the schedule-neutral driver never sees how secrets read memory.
+struct ModexpScanClient<'e, E: BatchMontMul> {
+    engine: &'e mut E,
+    /// Batched power table: `table[d][k] = M̄_k^d` (empty for all-zero
+    /// exponent sets, where no entry would ever be read).
+    table: Vec<Vec<Ubig>>,
+    one_bar: Ubig,
+    lanes: usize,
+    hardened: bool,
+    /// The accumulator lanes; squarings ping-pong with `scratch`
+    /// through `mont_mul_batch_into` so the warm scan allocates
+    /// nothing.
+    a: Vec<Ubig>,
+    scratch: Vec<Ubig>,
+    multiplier: Vec<Ubig>,
+    sel_buf: Vec<Limb>,
 }
 
-impl ExpSet<'_> {
-    /// The exponent feeding lane `k`.
-    fn exp(&self, k: usize) -> &Ubig {
-        match self {
-            ExpSet::PerLane(es) => &es[k],
-            ExpSet::Shared(e) => e,
-        }
+impl<E: BatchMontMul> WindowScanClient for ModexpScanClient<'_, E> {
+    fn init(&mut self, digits: &[usize]) {
+        self.a = if self.table.is_empty() {
+            vec![self.one_bar.clone(); self.lanes]
+        } else if self.hardened {
+            digits
+                .iter()
+                .enumerate()
+                .map(|(k, &d)| {
+                    ct_sweep_lane(&self.table, k, d, &mut self.sel_buf);
+                    Ubig::from_limbs(self.sel_buf.clone())
+                })
+                .collect()
+        } else {
+            digits
+                .iter()
+                .enumerate()
+                .map(|(k, &d)| self.table[d][k].clone())
+                .collect()
+        };
     }
 
-    /// Bit length of the longest exponent in the set.
-    fn max_bit_len(&self) -> usize {
-        match self {
-            ExpSet::PerLane(es) => es.iter().map(Ubig::bit_len).max().unwrap_or(0),
-            ExpSet::Shared(e) => e.bit_len(),
+    fn double(&mut self) {
+        self.engine
+            .mont_mul_batch_into(&self.a, &self.a, &mut self.scratch);
+        std::mem::swap(&mut self.a, &mut self.scratch);
+    }
+
+    fn combine(&mut self, digits: &[usize]) {
+        for (k, slot) in self.multiplier.iter_mut().enumerate() {
+            let d = digits[k];
+            if self.hardened {
+                ct_sweep_lane(&self.table, k, d, &mut self.sel_buf);
+                *slot = Ubig::from_limbs(self.sel_buf.clone());
+            } else {
+                slot.clone_from(&self.table[d][k]);
+            }
         }
+        self.engine
+            .mont_mul_batch_into(&self.a, &self.multiplier, &mut self.scratch);
+        std::mem::swap(&mut self.a, &mut self.scratch);
     }
 }
 
@@ -320,7 +359,7 @@ impl<E: BatchMontMul> BatchModExp<E> {
         window: usize,
     ) -> Result<Vec<Ubig>, MmmError> {
         Self::try_check_exponents(ms, es)?;
-        self.windowed_core(ms, ExpSet::PerLane(es), window)
+        self.windowed_core(ms, ScalarSet::PerLane(es), window)
     }
 
     /// [`BatchModExp::modexp_batch_windowed`] with one exponent shared
@@ -350,15 +389,20 @@ impl<E: BatchMontMul> BatchModExp<E> {
         e: &Ubig,
         window: usize,
     ) -> Result<Vec<Ubig>, MmmError> {
-        self.windowed_core(ms, ExpSet::Shared(e), window)
+        self.windowed_core(ms, ScalarSet::Shared(e), window)
     }
 
     /// The lockstep fixed-window scan over either exponent shape —
-    /// the one implementation behind every windowed entry point.
+    /// the one implementation behind every windowed entry point. The
+    /// schedule itself (windows, doubles, combines, skip policy) is
+    /// the lifted workload-neutral core
+    /// ([`crate::scan::run_windowed_scan`]); this method supplies the
+    /// modexp workload: domain transforms, the batched power table,
+    /// and the [`ModexpScanClient`] group operations.
     fn windowed_core(
         &mut self,
         ms: &[Ubig],
-        es: ExpSet<'_>,
+        es: ScalarSet<'_>,
         window: usize,
     ) -> Result<Vec<Ubig>, MmmError> {
         if !(1..=8).contains(&window) {
@@ -375,18 +419,9 @@ impl<E: BatchMontMul> BatchModExp<E> {
         self.stats.total_batch_muls += 1;
         let one_bar = params.r_mod_n();
 
-        // Window digit of lane `k` at window index `win` (bits
-        // [win·w, win·w + w), zero beyond the lane's length).
-        let digit = |k: usize, win: usize| -> usize {
-            let base = win * window;
-            (0..window).rev().fold(0usize, |d, b| {
-                (d << 1) | usize::from(es.exp(k).bit(base + b))
-            })
-        };
-
-        // Left-to-right scan, top window first. All-zero exponents
-        // (`windows == 0`) skip the table build entirely — the result
-        // is 1̄ per lane and no table entry would ever be read.
+        // All-zero exponents (`windows == 0`) skip the table build
+        // entirely — the result is 1̄ per lane and no table entry
+        // would ever be read.
         let t = es.max_bit_len();
         let windows = t.div_ceil(window);
         let table_len = if windows == 0 { 0 } else { 1usize << window };
@@ -406,54 +441,27 @@ impl<E: BatchMontMul> BatchModExp<E> {
 
         // Under hardening every table read — leading window included —
         // is a branchless full-table sweep, and the skip-when-all-zero
-        // optimization is disabled: the schedule and the memory trace
-        // are identical for every exponent of the same length.
+        // optimization is disabled (`never_skip`): the schedule and
+        // the memory trace are identical for every exponent of the
+        // same length.
         let hardened = self.engine.hardening().is_hardened();
-        let mut sel_buf = vec![0 as Limb; params.n().limbs().len() + 1];
-        let mut a: Vec<Ubig> = if windows == 0 {
-            vec![one_bar.clone(); lanes]
-        } else if hardened {
-            (0..lanes)
-                .map(|k| {
-                    ct_sweep_lane(&table, k, digit(k, windows - 1), &mut sel_buf);
-                    Ubig::from_limbs(sel_buf.clone())
-                })
-                .collect()
-        } else {
-            (0..lanes)
-                .map(|k| table[digit(k, windows - 1)][k].clone())
-                .collect()
+        let mut client = ModexpScanClient {
+            engine: &mut self.engine,
+            table,
+            sel_buf: vec![0 as Limb; params.n().limbs().len() + 1],
+            multiplier: vec![one_bar.clone(); lanes],
+            one_bar,
+            lanes,
+            hardened,
+            a: Vec::new(),
+            scratch: Vec::with_capacity(lanes),
         };
-        let mut scratch: Vec<Ubig> = Vec::with_capacity(lanes);
-        let mut multiplier = vec![one_bar.clone(); lanes];
-        for win in (0..windows.saturating_sub(1)).rev() {
-            for _ in 0..window {
-                self.engine.mont_mul_batch_into(&a, &a, &mut scratch);
-                std::mem::swap(&mut a, &mut scratch);
-                self.stats.squarings += 1;
-                self.stats.total_batch_muls += 1;
-            }
-            let mut any_set = hardened;
-            for (k, slot) in multiplier.iter_mut().enumerate() {
-                let d = digit(k, win);
-                if hardened {
-                    ct_sweep_lane(&table, k, d, &mut sel_buf);
-                    *slot = Ubig::from_limbs(sel_buf.clone());
-                } else {
-                    any_set |= d != 0;
-                    slot.clone_from(&table[d][k]);
-                }
-            }
-            if any_set {
-                self.engine
-                    .mont_mul_batch_into(&a, &multiplier, &mut scratch);
-                std::mem::swap(&mut a, &mut scratch);
-                self.stats.multiplications += 1;
-                self.stats.total_batch_muls += 1;
-            } else {
-                self.stats.skipped_multiplications += 1;
-            }
-        }
+        let scan = run_windowed_scan(&mut client, lanes, &es, window, hardened);
+        let a = std::mem::take(&mut client.a);
+        self.stats.squarings += scan.doublings;
+        self.stats.multiplications += scan.combines;
+        self.stats.skipped_multiplications += scan.skipped_combines;
+        self.stats.total_batch_muls += scan.doublings + scan.combines;
 
         // Post-processing: Mont(A, 1) ≤ N, equality only for A ≡ 0.
         let ones = vec![Ubig::one(); lanes];

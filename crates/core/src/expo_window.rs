@@ -11,6 +11,7 @@
 
 use crate::expo::ExpoStats;
 use crate::montgomery::MontgomeryParams;
+use crate::scan::{best_fixed_window_weighted, fixed_window_schedule};
 use crate::traits::MontMul;
 use mmm_bigint::Ubig;
 
@@ -174,26 +175,24 @@ pub fn best_window(t: usize) -> usize {
 /// transforms. Unlike the sliding-window model this charges the
 /// multiply for *every* window, because lanes scan in lockstep and a
 /// window is only skippable when **all** lanes have digit 0.
+///
+/// This is the unit-weight instance of the workload-neutral schedule
+/// model ([`crate::scan::fixed_window_schedule`]): for modexp a table
+/// entry, a doubling and a combine each cost exactly one batched
+/// Montgomery multiplication, plus the two domain transforms.
 pub fn expected_fixed_window_muls(t: usize, w: usize) -> f64 {
-    assert!((1..=8).contains(&w), "window must be in 1..=8");
-    if t == 0 {
-        return 2.0;
-    }
-    let windows = t.div_ceil(w);
-    ((1usize << w) - 2) as f64 + ((windows - 1) * w) as f64 + (windows - 1) as f64 + 2.0
+    let s = fixed_window_schedule(t, w);
+    (s.table_entries + s.doublings + s.combines) as f64 + 2.0
 }
 
 /// The window width minimizing [`expected_fixed_window_muls`] for a
-/// `t`-bit exponent — the batch-path companion of [`best_window`],
-/// kept here so both exponentiation paths share one cost model.
+/// `t`-bit exponent — the batch-path companion of [`best_window`]:
+/// the unit-weight instance of
+/// [`crate::scan::best_fixed_window_weighted`], so RSA and every
+/// other scan tenant (e.g. batched ECC, with point-operation weights)
+/// share one tuning policy.
 pub fn best_fixed_window(t: usize) -> usize {
-    (1..=8)
-        .min_by(|&a, &b| {
-            expected_fixed_window_muls(t, a)
-                .partial_cmp(&expected_fixed_window_muls(t, b))
-                .unwrap()
-        })
-        .unwrap()
+    best_fixed_window_weighted(t, 1.0, 1.0, 1.0)
 }
 
 #[cfg(test)]

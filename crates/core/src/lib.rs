@@ -83,6 +83,7 @@ pub mod mmmc;
 pub mod modgen;
 pub mod montgomery;
 pub mod pool;
+pub mod scan;
 pub mod traits;
 pub mod verify;
 pub mod wave;
@@ -99,6 +100,7 @@ pub use expo_batch::BatchModExp;
 pub use mmmc::Mmmc;
 pub use montgomery::MontgomeryParams;
 pub use pool::EnginePool;
+pub use scan::{ScalarSet, ScanStats, WindowScanClient};
 pub use traits::{BatchMontMul, MontMul};
 pub use verify::{
     Quarantine, QuarantineStats, ResidueCheck, VerifiedEngine, VerifyContext, VerifyPolicy,

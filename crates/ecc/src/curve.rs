@@ -8,6 +8,7 @@
 
 use crate::field::{Fe, FieldCtx};
 use mmm_bigint::Ubig;
+use mmm_core::error::MmmError;
 use mmm_core::traits::MontMul;
 
 /// A short-Weierstrass curve `y² = x³ + ax + b` over GF(p), with the
@@ -36,19 +37,32 @@ impl Curve {
     ///
     /// # Panics
     /// Panics if the discriminant `4a³ + 27b²` vanishes (singular
-    /// curve).
+    /// curve); [`Curve::try_new`] is the fallible twin.
     pub fn new<E: MontMul>(f: &mut FieldCtx<E>, a_plain: &Ubig, b_plain: &Ubig) -> Curve {
+        Self::try_new(f, a_plain, b_plain).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a curve from plain coefficients, rejecting a vanishing
+    /// discriminant with [`MmmError::SingularCurve`] instead of
+    /// panicking — the serving-grade twin of [`Curve::new`].
+    pub fn try_new<E: MontMul>(
+        f: &mut FieldCtx<E>,
+        a_plain: &Ubig,
+        b_plain: &Ubig,
+    ) -> Result<Curve, MmmError> {
         let p = f.p().clone();
         let a3 = a_plain.modpow(&Ubig::from(3u64), &p);
         let b2 = b_plain.modmul(b_plain, &p);
         let disc = Ubig::from(4u64)
             .modmul(&a3, &p)
             .modadd(&Ubig::from(27u64).modmul(&b2, &p), &p);
-        assert!(!disc.is_zero(), "singular curve");
-        Curve {
+        if disc.is_zero() {
+            return Err(MmmError::SingularCurve);
+        }
+        Ok(Curve {
             a: f.to_mont(a_plain),
             b: f.to_mont(b_plain),
-        }
+        })
     }
 
     /// The identity element.
@@ -63,15 +77,31 @@ impl Curve {
     /// Lifts affine plain coordinates onto the curve.
     ///
     /// # Panics
-    /// Panics if the point does not satisfy the curve equation.
+    /// Panics if the point does not satisfy the curve equation;
+    /// [`Curve::try_point`] is the fallible twin.
     pub fn point<E: MontMul>(&self, f: &mut FieldCtx<E>, x: &Ubig, y: &Ubig) -> Point {
+        self.try_point(f, x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Lifts affine plain coordinates onto the curve, rejecting a pair
+    /// that fails the curve equation with
+    /// [`MmmError::PointNotOnCurve`] (lane 0 — the solo path has one
+    /// lane) instead of panicking.
+    pub fn try_point<E: MontMul>(
+        &self,
+        f: &mut FieldCtx<E>,
+        x: &Ubig,
+        y: &Ubig,
+    ) -> Result<Point, MmmError> {
         let pt = Point {
             x: f.to_mont(x),
             y: f.to_mont(y),
             z: f.to_mont(&Ubig::one()),
         };
-        assert!(self.contains(f, &pt), "point not on curve");
-        pt
+        if !self.contains(f, &pt) {
+            return Err(MmmError::PointNotOnCurve { lane: 0 });
+        }
+        Ok(pt)
     }
 
     /// Checks the (projective) curve equation
@@ -363,6 +393,23 @@ mod tests {
         let mut f = FieldCtx::new(SoftwareEngine::new(params));
         // 4a³+27b² ≡ 0: a = 0, b = 0.
         let _ = Curve::new(&mut f, &Ubig::zero(), &Ubig::zero());
+    }
+
+    #[test]
+    fn try_twins_return_typed_errors() {
+        let (mut f, curve, _) = setup();
+        let err = curve
+            .try_point(&mut f, &Ubig::from(3u64), &Ubig::from(7u64))
+            .unwrap_err();
+        assert!(matches!(err, MmmError::PointNotOnCurve { lane: 0 }));
+        let err = Curve::try_new(&mut f, &Ubig::zero(), &Ubig::zero()).unwrap_err();
+        assert!(matches!(err, MmmError::SingularCurve));
+        // Ok paths are identical to the panicking twins.
+        let p1 = curve
+            .try_point(&mut f, &Ubig::from(3u64), &Ubig::from(6u64))
+            .unwrap();
+        let p2 = curve.point(&mut f, &Ubig::from(3u64), &Ubig::from(6u64));
+        assert_eq!(p1, p2);
     }
 
     #[test]

@@ -13,14 +13,45 @@
 //! * [`curve`] — short-Weierstrass curves `y² = x³ + ax + b`, Jacobian
 //!   projective points, complete double/add, and double-and-add scalar
 //!   multiplication.
+//!
+//! On top of the solo reference sits the **batched tenant** — ECC as a
+//! second workload on the same engine stack RSA serves from
+//! (`DESIGN.md` §13):
+//!
+//! * [`batch_field`] — 64-lane GF(p) arithmetic on any
+//!   [`BatchMontMul`] engine, with Montgomery simultaneous inversion;
+//! * [`batch_curve`] — lane-sliced Jacobian point arithmetic and
+//!   fixed-window batched scalar multiplication driven by the shared
+//!   windowed-scan core (`mmm_core::scan`) that also schedules the RSA
+//!   exponentiator;
+//! * [`curves`] — named curve parameter sets (NIST P-256);
+//! * [`serve`] — the serving surface: batched ECDSA verification and
+//!   ECDH shared-secret derivation through the typed
+//!   [`MmmError`](mmm_core::error::MmmError) /
+//!   [`EngineConfig`](mmm_core::config::EngineConfig) API, with
+//!   request collectors mirroring the RSA front-end.
+//!
+//! Every batched lane is bit-identical to what the solo [`curve`]
+//! path produces on the same inputs — the engines share one
+//! Algorithm-2 contract, and the batch layer patches exceptional
+//! lanes (identity, equal points, inverse points) with the scalar
+//! reference multiplication.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_curve;
+pub mod batch_field;
 pub mod curve;
+pub mod curves;
 pub mod field;
+pub mod serve;
 
+pub use batch_curve::{BatchCurve, PointLanes};
+pub use batch_field::BatchFieldCtx;
 pub use curve::{Curve, Point};
+pub use curves::CurveSpec;
 pub use field::FieldCtx;
+pub use serve::{CurveSession, EcdhCollector, EcdhRequest, EcdsaCollector, EcdsaRequest};
 
-pub use mmm_core::traits::MontMul;
+pub use mmm_core::traits::{BatchMontMul, MontMul};

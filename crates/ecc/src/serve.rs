@@ -1,0 +1,673 @@
+//! The ECC serving surface: batched ECDSA verification and ECDH
+//! shared-secret derivation on the pooled batch engines — the second
+//! tenant on the stack the RSA front-end serves from.
+//!
+//! [`CurveSession`] mirrors `mmm_rsa::KeyedSession`: one handle owning
+//! the curve group, its pooled Montgomery parameters and the engine
+//! configuration, built once (validating the curve and pre-warming one
+//! engine) and reused for every request. Requests fan out across cores
+//! in `shard_lanes`-wide chunks, each shard checking a warm engine out
+//! of the process-wide pool; every method returns
+//! `Result<_, MmmError>` so one malformed request bounces that *call*
+//! with the offending lane named, never the process.
+//!
+//! [`EcdsaCollector`] / [`EcdhCollector`] mirror
+//! `mmm_rsa::BatchCollector`: individually submitted requests are
+//! validated immediately (a bad request bounces without poisoning the
+//! queue), aggregated toward full shards, and answered in submission
+//! order on `flush`.
+//!
+//! **Semantics note.** An ECDSA signature that is merely *invalid*
+//! (bad `r`/`s` range, wrong signer) is a `false` result — a verdict,
+//! not an error. A structurally malformed request (public key not on
+//! the curve) is a typed error naming the lane, because no verdict
+//! about it is meaningful.
+
+use crate::batch_curve::{BatchCurve, PointLanes};
+use crate::batch_field::BatchFieldCtx;
+use crate::curves::CurveSpec;
+use mmm_bigint::Ubig;
+use mmm_core::batch::MAX_LANES;
+use mmm_core::error::MmmError;
+use mmm_core::montgomery::MontgomeryParams;
+use mmm_core::pool;
+use mmm_core::traits::BatchMontMul;
+use mmm_core::{EngineConfig, EngineKind};
+use rayon::prelude::*;
+
+/// One ECDSA verification request: message digest (already truncated
+/// to the order's bit length per FIPS 186-4 §6.4), signature pair and
+/// the signer's affine public key.
+#[derive(Debug, Clone)]
+pub struct EcdsaRequest {
+    /// Message digest `z`.
+    pub z: Ubig,
+    /// Signature component `r`.
+    pub r: Ubig,
+    /// Signature component `s`.
+    pub s: Ubig,
+    /// Public-key x-coordinate.
+    pub qx: Ubig,
+    /// Public-key y-coordinate.
+    pub qy: Ubig,
+}
+
+/// One ECDH shared-secret request: our private scalar and the peer's
+/// affine public key.
+#[derive(Debug, Clone)]
+pub struct EcdhRequest {
+    /// Private scalar `d ∈ [1, order)`.
+    pub scalar: Ubig,
+    /// Peer public-key x-coordinate.
+    pub qx: Ubig,
+    /// Peer public-key y-coordinate.
+    pub qy: Ubig,
+}
+
+/// A serving session bound to one curve group: owns the
+/// [`CurveSpec`], its pooled Montgomery parameters and the engine
+/// configuration. Construction validates the group (non-singular
+/// curve, base point on it, order > 1) and pre-warms one engine of
+/// the configured backend in the process-wide pool.
+///
+/// ```
+/// use mmm_bigint::Ubig;
+/// use mmm_core::{EngineConfig, MmmError};
+/// use mmm_ecc::serve::{CurveSession, EcdhRequest};
+/// use mmm_ecc::curves::p256;
+///
+/// # fn main() -> Result<(), MmmError> {
+/// let session = CurveSession::new(p256(), EngineConfig::default())?;
+/// // Alice and Bob derive the same secret from mirrored requests.
+/// let (da, db) = (Ubig::from(1001u64), Ubig::from(2002u64));
+/// let qa = session.scalar_mul_base(&[da.clone()])?[0].clone().unwrap();
+/// let qb = session.scalar_mul_base(&[db.clone()])?[0].clone().unwrap();
+/// let sa = session.ecdh(&[EcdhRequest { scalar: da, qx: qb.0, qy: qb.1 }])?;
+/// let sb = session.ecdh(&[EcdhRequest { scalar: db, qx: qa.0, qy: qa.1 }])?;
+/// assert_eq!(sa, sb);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurveSession {
+    spec: CurveSpec,
+    config: EngineConfig,
+    params: MontgomeryParams,
+}
+
+impl CurveSession {
+    /// Builds a session for `spec` under `config`.
+    ///
+    /// Fails with [`MmmError::SingularCurve`] if the discriminant
+    /// vanishes, [`MmmError::PointNotOnCurve`] if the base point does
+    /// not satisfy the curve equation, [`MmmError::Config`] for a
+    /// degenerate order or broken `MMM_*` environment, and
+    /// [`MmmError::HardwareUnsafeWidth`] if the backend cannot run
+    /// the pooled parameters (which hardware-safe widths never
+    /// trigger).
+    pub fn new(spec: CurveSpec, config: EngineConfig) -> Result<Self, MmmError> {
+        let p = &spec.p;
+        let disc = Ubig::from(4u64)
+            .modmul(&spec.a.modpow(&Ubig::from(3u64), p), p)
+            .modadd(&Ubig::from(27u64).modmul(&spec.b.modmul(&spec.b, p), p), p);
+        if disc.is_zero() {
+            return Err(MmmError::SingularCurve);
+        }
+        if !spec.on_curve(&spec.gx, &spec.gy) {
+            return Err(MmmError::PointNotOnCurve { lane: 0 });
+        }
+        if spec.order <= Ubig::one() {
+            return Err(MmmError::Config(format!(
+                "curve {:?} order must exceed 1",
+                spec.name
+            )));
+        }
+        let pool = pool::try_global()?;
+        let params = pool.params_for(&spec.p);
+        config.backend().ensure_supports(&params)?;
+        drop(pool.try_checkout_kind(&params, config.backend())?);
+        Ok(CurveSession {
+            spec,
+            config,
+            params,
+        })
+    }
+
+    /// The session's curve group.
+    pub fn spec(&self) -> &CurveSpec {
+        &self.spec
+    }
+
+    /// The session's engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The multiplier backend this session runs on.
+    pub fn backend(&self) -> EngineKind {
+        self.config.backend()
+    }
+
+    /// Batched fixed-base scalar multiplication: `[ks[k]]·G` in affine
+    /// plain coordinates, `None` where the multiple is the identity.
+    /// The building block under key generation and the doctest above;
+    /// scalars are reduced mod the group order.
+    pub fn scalar_mul_base(&self, ks: &[Ubig]) -> Result<Vec<Option<(Ubig, Ubig)>>, MmmError> {
+        if ks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reduced: Vec<Ubig> = ks.iter().map(|k| k.rem(&self.spec.order)).collect();
+        let shards: Vec<&[Ubig]> = reduced.chunks(self.shard_width()).collect();
+        type ShardAffine = Vec<Option<(Ubig, Ubig)>>;
+        let results: Result<Vec<ShardAffine>, MmmError> = shards
+            .into_par_iter()
+            .map(|ks| {
+                let (mut f, curve, g) = self.checkout()?;
+                let base = PointLanes::splat(&g, ks.len());
+                let acc = curve.scalar_mul(&mut f, ks, &base, None);
+                Ok(curve.to_affine(&mut f, &acc))
+            })
+            .collect();
+        Ok(results?.into_iter().flatten().collect())
+    }
+
+    /// Batched ECDSA verification (FIPS 186-4 §6.4): one verdict per
+    /// request, in order. Range-invalid `r`/`s` or a failed equation
+    /// is `false`; a public key off the curve is
+    /// [`MmmError::PointNotOnCurve`] naming the request index. Empty
+    /// input is `Ok(vec![])`.
+    pub fn verify_ecdsa(&self, reqs: &[EcdsaRequest]) -> Result<Vec<bool>, MmmError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Structural validation up front, with global lane indices.
+        for (lane, req) in reqs.iter().enumerate() {
+            if !self.spec.on_curve(&req.qx, &req.qy) {
+                return Err(MmmError::PointNotOnCurve { lane });
+            }
+        }
+        let n = &self.spec.order;
+        let one = Ubig::one();
+        // Per-request scalar precomputation (plain arithmetic): w =
+        // s⁻¹, u1 = z·w, u2 = r·w mod order. Range-invalid requests
+        // keep placeholder scalars and a dead verdict mask.
+        struct Prepared {
+            live: bool,
+            u1: Ubig,
+            u2: Ubig,
+        }
+        let prepared: Vec<Prepared> = reqs
+            .iter()
+            .map(|req| {
+                let in_range = !req.r.is_zero() && req.r < *n && !req.s.is_zero() && req.s < *n;
+                match (in_range, req.s.modinv(n)) {
+                    (true, Some(w)) => Prepared {
+                        live: true,
+                        u1: req.z.rem(n).modmul(&w, n),
+                        u2: req.r.modmul(&w, n),
+                    },
+                    _ => Prepared {
+                        live: false,
+                        u1: one.clone(),
+                        u2: one.clone(),
+                    },
+                }
+            })
+            .collect();
+        let width = self.shard_width();
+        let shards: Vec<(&[EcdsaRequest], &[Prepared])> =
+            reqs.chunks(width).zip(prepared.chunks(width)).collect();
+        let results: Result<Vec<Vec<bool>>, MmmError> = shards
+            .into_par_iter()
+            .map(|(sreqs, sprep)| {
+                let (mut f, curve, g) = self.checkout()?;
+                let xy: Vec<(Ubig, Ubig)> =
+                    sreqs.iter().map(|r| (r.qx.clone(), r.qy.clone())).collect();
+                // Pre-validated above; an error here would be an
+                // engine-level fault and is surfaced as-is.
+                let q = curve.try_points(&mut f, &xy)?;
+                let u1: Vec<Ubig> = sprep.iter().map(|p| p.u1.clone()).collect();
+                let u2: Vec<Ubig> = sprep.iter().map(|p| p.u2.clone()).collect();
+                let gbase = PointLanes::splat(&g, sreqs.len());
+                let r1 = curve.scalar_mul(&mut f, &u1, &gbase, None);
+                let r2 = curve.scalar_mul(&mut f, &u2, &q, None);
+                let sum = curve.add(&mut f, &r1, &r2);
+                let affine = curve.to_affine(&mut f, &sum);
+                Ok(sreqs
+                    .iter()
+                    .zip(sprep)
+                    .zip(affine)
+                    .map(|((req, prep), aff)| {
+                        prep.live && aff.map(|(x, _)| x.rem(n) == req.r).unwrap_or(false)
+                    })
+                    .collect())
+            })
+            .collect();
+        Ok(results?.into_iter().flatten().collect())
+    }
+
+    /// Batched ECDH (SP 800-56A style): the shared secret is the
+    /// affine x-coordinate of `[d]·Q`, one per request, in order.
+    ///
+    /// A scalar outside `[1, order)` is
+    /// [`MmmError::ScalarOutOfRange`], a peer key off the curve is
+    /// [`MmmError::PointNotOnCurve`] (both naming the request index —
+    /// the on-curve check is the standard defense against
+    /// invalid-curve key-extraction attacks). A derivation landing on
+    /// the identity (impossible for a prime-order group with
+    /// validated inputs, reachable on composite-order test curves) is
+    /// also [`MmmError::ScalarOutOfRange`]. Empty input is
+    /// `Ok(vec![])`.
+    pub fn ecdh(&self, reqs: &[EcdhRequest]) -> Result<Vec<Ubig>, MmmError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for (lane, req) in reqs.iter().enumerate() {
+            if req.scalar.is_zero() || req.scalar >= self.spec.order {
+                return Err(MmmError::ScalarOutOfRange { lane });
+            }
+            if !self.spec.on_curve(&req.qx, &req.qy) {
+                return Err(MmmError::PointNotOnCurve { lane });
+            }
+        }
+        let width = self.shard_width();
+        let shards: Vec<(usize, &[EcdhRequest])> = reqs
+            .chunks(width)
+            .enumerate()
+            .map(|(i, c)| (i * width, c))
+            .collect();
+        let results: Result<Vec<Vec<Ubig>>, MmmError> = shards
+            .into_par_iter()
+            .map(|(start, sreqs)| {
+                let (mut f, curve, _) = self.checkout()?;
+                let xy: Vec<(Ubig, Ubig)> =
+                    sreqs.iter().map(|r| (r.qx.clone(), r.qy.clone())).collect();
+                let q = curve.try_points(&mut f, &xy)?;
+                let ks: Vec<Ubig> = sreqs.iter().map(|r| r.scalar.clone()).collect();
+                let acc = curve.scalar_mul(&mut f, &ks, &q, None);
+                let affine = curve.to_affine(&mut f, &acc);
+                affine
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, aff)| {
+                        aff.map(|(x, _)| x)
+                            .ok_or(MmmError::ScalarOutOfRange { lane: start + k })
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(results?.into_iter().flatten().collect())
+    }
+
+    /// A fresh [`EcdsaCollector`] bound to this session.
+    pub fn ecdsa_collector(&self) -> EcdsaCollector<'_> {
+        EcdsaCollector {
+            session: self,
+            pending: Vec::new(),
+        }
+    }
+
+    /// A fresh [`EcdhCollector`] bound to this session.
+    pub fn ecdh_collector(&self) -> EcdhCollector<'_> {
+        EcdhCollector {
+            session: self,
+            pending: Vec::new(),
+        }
+    }
+
+    fn shard_width(&self) -> usize {
+        self.config.shard_lanes().clamp(1, MAX_LANES)
+    }
+
+    /// One warm engine out of the pool, wrapped as a field context,
+    /// with the session's curve and Montgomery-domain base point.
+    fn checkout(
+        &self,
+    ) -> Result<
+        (
+            BatchFieldCtx<pool::PooledEngine>,
+            BatchCurve,
+            crate::curve::Point,
+        ),
+        MmmError,
+    > {
+        let pool = pool::try_global()?;
+        let mut engine = pool.try_checkout_kind(&self.params, self.config.backend())?;
+        engine.set_hardening(self.config.hardening());
+        let mut f = BatchFieldCtx::new(engine);
+        let curve = BatchCurve::try_new(&mut f, &self.spec.a, &self.spec.b)?;
+        let g = {
+            let m = f.to_mont(&[self.spec.gx.clone(), self.spec.gy.clone(), Ubig::one()]);
+            crate::curve::Point {
+                x: m[0].clone(),
+                y: m[1].clone(),
+                z: m[2].clone(),
+            }
+        };
+        Ok((f, curve, g))
+    }
+}
+
+/// Aggregates individually submitted [`EcdsaRequest`]s toward full
+/// shards; results come back in submission order on
+/// [`EcdsaCollector::flush`]. Submission validates the public key
+/// immediately (the error's `lane` is the id the request would have
+/// had); range-invalid `r`/`s` are accepted and verdict `false`.
+#[derive(Debug)]
+pub struct EcdsaCollector<'s> {
+    session: &'s CurveSession,
+    pending: Vec<EcdsaRequest>,
+}
+
+impl EcdsaCollector<'_> {
+    /// Queues one request. A public key off the curve is rejected with
+    /// [`MmmError::PointNotOnCurve`] and leaves the queue untouched.
+    /// Returns the request id — the index of this request's verdict in
+    /// the next [`EcdsaCollector::flush`].
+    pub fn submit(&mut self, req: EcdsaRequest) -> Result<usize, MmmError> {
+        if !self.session.spec.on_curve(&req.qx, &req.qy) {
+            return Err(MmmError::PointNotOnCurve {
+                lane: self.pending.len(),
+            });
+        }
+        self.pending.push(req);
+        Ok(self.pending.len() - 1)
+    }
+
+    /// Requests queued for the next flush.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// How many **full** shards the queue currently fills at the
+    /// session's configured shard width — the flush-scheduling hint.
+    pub fn full_shards(&self) -> usize {
+        self.pending.len() / self.session.shard_width()
+    }
+
+    /// Removes and returns every queued request with its submission
+    /// id, leaving the collector empty — the shutdown escape hatch.
+    pub fn drain(&mut self) -> Vec<(usize, EcdsaRequest)> {
+        self.pending.drain(..).enumerate().collect()
+    }
+
+    /// Drains the queue through the session: one verdict per request,
+    /// in submission order. An empty queue is
+    /// [`MmmError::EmptyBatch`]; on error the queue is left intact.
+    pub fn flush(&mut self) -> Result<Vec<bool>, MmmError> {
+        if self.pending.is_empty() {
+            return Err(MmmError::EmptyBatch);
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let result = self.session.verify_ecdsa(&pending);
+        if result.is_err() {
+            self.pending = pending;
+        }
+        result
+    }
+}
+
+/// Aggregates individually submitted [`EcdhRequest`]s toward full
+/// shards; shared secrets come back in submission order on
+/// [`EcdhCollector::flush`]. Submission validates scalar range and
+/// peer key immediately.
+#[derive(Debug)]
+pub struct EcdhCollector<'s> {
+    session: &'s CurveSession,
+    pending: Vec<EcdhRequest>,
+}
+
+impl EcdhCollector<'_> {
+    /// Queues one request, validating it immediately: a scalar outside
+    /// `[1, order)` is [`MmmError::ScalarOutOfRange`], a peer key off
+    /// the curve is [`MmmError::PointNotOnCurve`] (the `lane` is the
+    /// id the request would have had); both leave the queue untouched.
+    /// Returns the request id.
+    pub fn submit(&mut self, req: EcdhRequest) -> Result<usize, MmmError> {
+        let lane = self.pending.len();
+        if req.scalar.is_zero() || req.scalar >= self.session.spec.order {
+            return Err(MmmError::ScalarOutOfRange { lane });
+        }
+        if !self.session.spec.on_curve(&req.qx, &req.qy) {
+            return Err(MmmError::PointNotOnCurve { lane });
+        }
+        self.pending.push(req);
+        Ok(lane)
+    }
+
+    /// Requests queued for the next flush.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// How many **full** shards the queue currently fills.
+    pub fn full_shards(&self) -> usize {
+        self.pending.len() / self.session.shard_width()
+    }
+
+    /// Removes and returns every queued request with its submission
+    /// id, leaving the collector empty.
+    pub fn drain(&mut self) -> Vec<(usize, EcdhRequest)> {
+        self.pending.drain(..).enumerate().collect()
+    }
+
+    /// Drains the queue through the session: one shared secret per
+    /// request, in submission order. An empty queue is
+    /// [`MmmError::EmptyBatch`]; on error the queue is left intact.
+    pub fn flush(&mut self) -> Result<Vec<Ubig>, MmmError> {
+        if self.pending.is_empty() {
+            return Err(MmmError::EmptyBatch);
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let result = self.session.ecdh(&pending);
+        if result.is_err() {
+            self.pending = pending;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::p256;
+
+    /// The solo fixture as a spec: y² = x³ + 2x + 3 over GF(97),
+    /// G = (3, 6), with the order of G brute-forced from the affine
+    /// group law.
+    fn tiny_spec() -> CurveSpec {
+        CurveSpec {
+            name: "tiny97",
+            p: Ubig::from(97u64),
+            a: Ubig::from(2u64),
+            b: Ubig::from(3u64),
+            gx: Ubig::from(3u64),
+            gy: Ubig::from(6u64),
+            order: Ubig::from(tiny_order()),
+        }
+    }
+
+    /// Order of G = (3,6) on y² = x³ + 2x + 3 / GF(97) by brute force
+    /// over the affine group law.
+    fn tiny_order() -> u64 {
+        const P: u64 = 97;
+        const A: u64 = 2;
+        fn inv(x: u64) -> u64 {
+            let (mut acc, mut base, mut e) = (1u64, x % P, P - 2);
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc * base % P;
+                }
+                base = base * base % P;
+                e >>= 1;
+            }
+            acc
+        }
+        let mut order = 1u64;
+        let mut acc = Some((3u64, 6u64));
+        while let Some((x1, y1)) = acc {
+            order += 1;
+            let (x2, y2) = (3u64, 6u64);
+            acc = if x1 == x2 && (y1 + y2) % P == 0 {
+                None
+            } else {
+                let l = if x1 == x2 && y1 == y2 {
+                    (3 * x1 % P * x1 % P + A) % P * inv(2 * y1 % P) % P
+                } else {
+                    (y2 + P - y1) % P * inv((x2 + P - x1) % P) % P
+                };
+                let x3 = (l * l % P + 2 * P - x1 - x2) % P;
+                Some((x3, (l * ((x1 + P - x3) % P) % P + P - y1) % P))
+            };
+        }
+        order
+    }
+
+    #[test]
+    fn session_rejects_bad_specs() {
+        let mut singular = tiny_spec();
+        singular.a = Ubig::zero();
+        singular.b = Ubig::zero();
+        assert!(matches!(
+            CurveSession::new(singular, EngineConfig::default()),
+            Err(MmmError::SingularCurve)
+        ));
+        let mut off = tiny_spec();
+        off.gy = Ubig::from(7u64);
+        assert!(matches!(
+            CurveSession::new(off, EngineConfig::default()),
+            Err(MmmError::PointNotOnCurve { lane: 0 })
+        ));
+        let mut degenerate = tiny_spec();
+        degenerate.order = Ubig::one();
+        assert!(matches!(
+            CurveSession::new(degenerate, EngineConfig::default()),
+            Err(MmmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_session_round_trips_ecdh() {
+        let session = CurveSession::new(tiny_spec(), EngineConfig::default()).unwrap();
+        // G has order 5 on the tiny fixture — keep scalars in [1, 5).
+        let (da, db) = (Ubig::from(2u64), Ubig::from(3u64));
+        let qa = session.scalar_mul_base(std::slice::from_ref(&da)).unwrap()[0]
+            .clone()
+            .unwrap();
+        let qb = session.scalar_mul_base(std::slice::from_ref(&db)).unwrap()[0]
+            .clone()
+            .unwrap();
+        let sa = session
+            .ecdh(&[EcdhRequest {
+                scalar: da,
+                qx: qb.0,
+                qy: qb.1,
+            }])
+            .unwrap();
+        let sb = session
+            .ecdh(&[EcdhRequest {
+                scalar: db,
+                qx: qa.0,
+                qy: qa.1,
+            }])
+            .unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn ecdh_validates_requests() {
+        let session = CurveSession::new(tiny_spec(), EngineConfig::default()).unwrap();
+        let g = session.scalar_mul_base(&[Ubig::from(2u64)]).unwrap()[0]
+            .clone()
+            .unwrap();
+        let bad_scalar = EcdhRequest {
+            scalar: Ubig::zero(),
+            qx: g.0.clone(),
+            qy: g.1.clone(),
+        };
+        let ok = EcdhRequest {
+            scalar: Ubig::from(3u64),
+            qx: g.0.clone(),
+            qy: g.1.clone(),
+        };
+        let err = session.ecdh(&[ok.clone(), bad_scalar]).unwrap_err();
+        assert!(matches!(err, MmmError::ScalarOutOfRange { lane: 1 }));
+        let off_curve = EcdhRequest {
+            scalar: Ubig::from(3u64),
+            qx: g.0.clone(),
+            qy: g.1.modadd(&Ubig::one(), &session.spec().p),
+        };
+        let err = session.ecdh(&[off_curve]).unwrap_err();
+        assert!(matches!(err, MmmError::PointNotOnCurve { lane: 0 }));
+    }
+
+    #[test]
+    fn p256_session_builds_and_multiplies() {
+        let session = CurveSession::new(p256(), EngineConfig::default()).unwrap();
+        // [1]G = G.
+        let got = session.scalar_mul_base(&[Ubig::one()]).unwrap();
+        let (x, y) = got[0].clone().unwrap();
+        assert_eq!(x, session.spec().gx);
+        assert_eq!(y, session.spec().gy);
+        // [order]G = ∞.
+        let got = session
+            .scalar_mul_base(&[session.spec().order.clone()])
+            .unwrap();
+        assert!(got[0].is_none());
+    }
+
+    #[test]
+    fn collectors_submit_validate_and_flush_in_order() {
+        let session = CurveSession::new(tiny_spec(), EngineConfig::default()).unwrap();
+        let pts: Vec<(Ubig, Ubig)> = session
+            .scalar_mul_base(&[Ubig::from(2u64), Ubig::from(3u64), Ubig::from(4u64)])
+            .unwrap()
+            .into_iter()
+            .map(Option::unwrap)
+            .collect();
+        let mut c = session.ecdh_collector();
+        assert!(matches!(c.flush(), Err(MmmError::EmptyBatch)));
+        for (i, (qx, qy)) in pts.iter().enumerate() {
+            let id = c
+                .submit(EcdhRequest {
+                    scalar: Ubig::from(i as u64 + 1),
+                    qx: qx.clone(),
+                    qy: qy.clone(),
+                })
+                .unwrap();
+            assert_eq!(id, i);
+        }
+        let bad = c.submit(EcdhRequest {
+            scalar: Ubig::zero(),
+            qx: pts[0].0.clone(),
+            qy: pts[0].1.clone(),
+        });
+        assert!(matches!(bad, Err(MmmError::ScalarOutOfRange { lane: 3 })));
+        assert_eq!(c.len(), 3, "rejected submit leaves the queue intact");
+        let direct: Vec<Ubig> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (qx, qy))| {
+                session
+                    .ecdh(&[EcdhRequest {
+                        scalar: Ubig::from(i as u64 + 1),
+                        qx: qx.clone(),
+                        qy: qy.clone(),
+                    }])
+                    .unwrap()[0]
+                    .clone()
+            })
+            .collect();
+        assert_eq!(c.flush().unwrap(), direct);
+        assert!(c.is_empty());
+    }
+}

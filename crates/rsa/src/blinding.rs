@@ -28,15 +28,19 @@
 //! long-lived secret of its own. This is the classic
 //! square-and-refresh schedule used by production RSA implementations.
 //!
-//! ## Randomness caveat
+//! ## Randomness
 //!
-//! The workspace's vendored `rand` has no OS entropy source, so seeds
-//! come from [`entropy_seed`]: a hash of wall-clock nanoseconds, the
-//! process id, and a process-wide counter. That is **not** a CSPRNG —
-//! it is unpredictable enough to exercise and benchmark the blinding
-//! machinery, and the seam to replace with `OsRng` when this moves
-//! beyond a simulator. The soundness of the *masking algebra* (the
-//! part this crate tests) is independent of seed quality.
+//! Seed material flows through the [`EntropySource`] seam. The
+//! default, [`OsEntropy`], reads the operating system's entropy pool
+//! (`/dev/urandom`); if the device is unavailable (exotic sandboxes,
+//! non-Unix targets) it **falls back** to [`entropy_seed`] — a
+//! splitmix64 hash of wall-clock nanoseconds, the process id, and a
+//! process-wide counter, which is *not* a CSPRNG but keeps the
+//! blinding machinery exercisable everywhere the simulator runs. Tests
+//! inject deterministic sources through
+//! [`BlindingState::with_entropy`]; the soundness of the *masking
+//! algebra* (the part this crate tests) is independent of seed
+//! quality.
 //!
 //! ## Example
 //!
@@ -78,10 +82,56 @@ use std::sync::Mutex;
 /// square-and-refresh schedule with fresh randomness.
 pub const REGENERATE_EVERY: u32 = 32;
 
+/// Where blinding seed material comes from — the seam between the
+/// masking algebra (deterministic, tested) and the platform's
+/// randomness (environment-dependent, injectable).
+///
+/// Implementations must be cheap enough to call once per
+/// [`BlindingState`] construction and per pair regeneration; they are
+/// never called on the per-ticket fast path.
+pub trait EntropySource: std::fmt::Debug + Send + Sync {
+    /// 64 bits of seed material.
+    fn seed(&self) -> u64;
+
+    /// Source name for reports and logs.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The default [`EntropySource`]: the operating system's entropy pool
+/// via `/dev/urandom`, falling back to [`entropy_seed`] (documented in
+/// the module docs) when the device cannot be read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsEntropy;
+
+impl OsEntropy {
+    /// Reads 8 bytes from `/dev/urandom`; `None` if the device is
+    /// missing or unreadable (the caller falls back).
+    fn os_seed() -> Option<u64> {
+        use std::io::Read;
+        let mut f = std::fs::File::open("/dev/urandom").ok()?;
+        let mut buf = [0u8; 8];
+        f.read_exact(&mut buf).ok()?;
+        Some(u64::from_le_bytes(buf))
+    }
+}
+
+impl EntropySource for OsEntropy {
+    fn seed(&self) -> u64 {
+        Self::os_seed().unwrap_or_else(entropy_seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "os (/dev/urandom)"
+    }
+}
+
 /// A seed mixing wall-clock nanoseconds, the process id, and a
-/// process-wide counter through splitmix64 — the best entropy the
-/// vendored (OS-entropy-free) `rand` setup allows; see the module docs
-/// for the caveat. Distinct per call even within one nanosecond tick.
+/// process-wide counter through splitmix64 — the in-process **fallback**
+/// behind [`OsEntropy`] for environments where `/dev/urandom` cannot be
+/// read; see the module docs for the caveat. Distinct per call even
+/// within one nanosecond tick.
 pub fn entropy_seed() -> u64 {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let nanos = std::time::SystemTime::now()
@@ -162,9 +212,17 @@ pub struct BlindingTicket {
 
 impl BlindingState {
     /// Builds the state for a key (modulus `n`, public exponent `e`),
-    /// generating the initial pair from [`entropy_seed`].
+    /// seeding from the default [`OsEntropy`] source.
     pub fn new(n: Ubig, e: Ubig) -> Self {
-        let mut rng = StdRng::seed_from_u64(entropy_seed());
+        Self::with_entropy(n, e, &OsEntropy)
+    }
+
+    /// Builds the state with an explicit [`EntropySource`] — the
+    /// test-injection seam (a fixed source makes every ticket
+    /// reproducible) and the hook for platforms with their own
+    /// randomness service.
+    pub fn with_entropy(n: Ubig, e: Ubig, entropy: &dyn EntropySource) -> Self {
+        let mut rng = StdRng::seed_from_u64(entropy.seed());
         let pair = BlindingPair::generate(&n, &e, &mut rng);
         BlindingState {
             n,
@@ -279,5 +337,43 @@ mod tests {
         let a = entropy_seed();
         let b = entropy_seed();
         assert_ne!(a, b, "counter guarantees distinctness within a tick");
+    }
+
+    /// Deterministic injection source for tests.
+    #[derive(Debug)]
+    struct FixedEntropy(u64);
+
+    impl EntropySource for FixedEntropy {
+        fn seed(&self) -> u64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn injected_entropy_makes_tickets_reproducible() {
+        let kp = key();
+        let a = BlindingState::with_entropy(kp.n.clone(), kp.e.clone(), &FixedEntropy(42));
+        let b = BlindingState::with_entropy(kp.n.clone(), kp.e.clone(), &FixedEntropy(42));
+        for _ in 0..3 {
+            let (ta, tb) = (a.ticket(), b.ticket());
+            assert_eq!(ta.vf, tb.vf);
+            assert_eq!(ta.vi, tb.vi);
+            assert_eq!((ta.kp, ta.kq), (tb.kp, tb.kq));
+        }
+        // A different seed diverges.
+        let c = BlindingState::with_entropy(kp.n.clone(), kp.e.clone(), &FixedEntropy(43));
+        assert_ne!(a.ticket().vf, c.ticket().vf);
+    }
+
+    #[test]
+    fn os_entropy_source_yields_varying_seeds() {
+        // /dev/urandom (or the documented fallback) — either way two
+        // draws must differ.
+        let s = OsEntropy;
+        assert_ne!(s.seed(), s.seed());
+        assert!(s.name().contains("os"));
     }
 }

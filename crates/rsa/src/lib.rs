@@ -39,7 +39,7 @@ pub use serve::{FaultPlan, KeyId, ServeStats, Server, ServerBuilder, Ticket};
 pub use server::{BatchCollector, BatchOp, KeyedSession};
 pub use signing::{decrypt_blinded, sign, verify};
 
-pub use blinding::{BlindingState, BlindingTicket};
+pub use blinding::{BlindingState, BlindingTicket, EntropySource, OsEntropy};
 
 pub use mmm_core::traits::{BatchMontMul, MontMul};
 pub use mmm_core::{EngineConfig, EngineKind, HardeningMode, MmmError, WindowPolicy};
